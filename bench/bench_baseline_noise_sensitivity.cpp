@@ -1,0 +1,111 @@
+// E14 — Baseline comparison: the sharp-threshold baseline (our stand-in for
+// the exact-feedback algorithm of [11], see DESIGN.md §5.2) against
+// Algorithm Ant, across feedback models and execution models.
+//
+// Expected shape — the paper's motivation in one table:
+//  * baseline, sequential + exact:   near-perfect (its home turf);
+//  * baseline, synchronous + exact:  floods and oscillates at Θ(n) — even
+//    noiseless synchronous feedback defeats naive reactivity;
+//  * baseline, sequential + sigmoid: regret grows with the grey zone;
+//  * Ant, synchronous + sigmoid:     stays within its 5γΣd band;
+//  * Ant, synchronous + exact:       ditto (noise robustness is free).
+#include "algo/sharp_threshold.h"
+#include "algo/trivial.h"
+#include "noise/exact.h"
+#include "common.h"
+
+using namespace antalloc;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const Count demand = args.get_int("demand", 2000);
+  const std::int32_t k = static_cast<std::int32_t>(args.get_int("k", 2));
+  const double lambda = args.get_double("lambda", 0.01);
+  const double gamma = args.get_double("gamma", 0.05);
+  args.check_unknown();
+
+  const DemandVector demands = uniform_demands(k, demand);
+  const Count n = 4 * demands.total();
+  const double band =
+      5.0 * gamma * static_cast<double>(demands.total()) + 3.0 * k;
+
+  bench::print_header(
+      "E14 / baseline: sharp-threshold [11]-style vs Algorithm Ant",
+      "baseline wins only in its exact/sequential home turf; Ant is robust");
+  bench::print_gamma_star(lambda, demands, n);
+  std::printf("Ant band budget: %.0f per round\n\n", band);
+
+  bench::BenchContext ctx("bench_baseline_noise_sensitivity",
+                          {"algorithm", "model", "feedback", "avg_regret",
+                           "verdict"});
+
+  auto verdict = [&](double regret) {
+    return regret <= band ? std::string("converged")
+                          : std::string("oscillating/far");
+  };
+
+  // Baseline, sequential model.
+  auto sequential = [&](FeedbackModel& fm) {
+    std::vector<Count> loads(demands.values().begin(), demands.values().end());
+    const Allocation init(n, loads);
+    const Round rounds = 200'000;
+    return run_reactive_sequential(
+               ReactiveParams{.leave_probability =
+                                  kSharpThresholdLeaveProbability},
+               n, demands, rounds, fm, init,
+               {.gamma = gamma, .warmup = rounds / 2}, 3)
+        .post_warmup_average();
+  };
+  {
+    ExactFeedback fm;
+    const double r = sequential(fm);
+    ctx.table.add_row({"sharp-threshold", "sequential", "exact",
+                       Table::fmt(r, 5), verdict(r)});
+    if (r > band) ctx.exit_code = 1;  // must converge here
+  }
+  {
+    SigmoidFeedback fm(lambda);
+    const double r = sequential(fm);
+    ctx.table.add_row({"sharp-threshold", "sequential", "sigmoid",
+                       Table::fmt(r, 5), verdict(r)});
+  }
+
+  // Synchronous model runs.
+  auto synchronous = [&](const std::string& algo, const FeedbackModel& fm) {
+    auto kernel = make_aggregate_kernel({.name = algo, .gamma = gamma});
+    const Round rounds = 12'000;
+    AggregateSimConfig sim{.n_ants = n,
+                           .rounds = rounds,
+                           .seed = 5,
+                           .metrics = {.gamma = gamma, .warmup = rounds / 2}};
+    return run_aggregate_sim(*kernel, fm, demands, sim).post_warmup_average();
+  };
+  {
+    ExactFeedback fm;
+    const double r = synchronous("sharp-threshold", fm);
+    ctx.table.add_row({"sharp-threshold", "synchronous", "exact",
+                       Table::fmt(r, 5), verdict(r)});
+    if (r <= band) ctx.exit_code = 1;  // the flood must show
+  }
+  {
+    SigmoidFeedback fm(lambda);
+    const double r = synchronous("sharp-threshold", fm);
+    ctx.table.add_row({"sharp-threshold", "synchronous", "sigmoid",
+                       Table::fmt(r, 5), verdict(r)});
+  }
+  {
+    ExactFeedback fm;
+    const double r = synchronous("ant", fm);
+    ctx.table.add_row(
+        {"ant", "synchronous", "exact", Table::fmt(r, 5), verdict(r)});
+    if (r > band) ctx.exit_code = 1;
+  }
+  {
+    SigmoidFeedback fm(lambda);
+    const double r = synchronous("ant", fm);
+    ctx.table.add_row(
+        {"ant", "synchronous", "sigmoid", Table::fmt(r, 5), verdict(r)});
+    if (r > band) ctx.exit_code = 1;
+  }
+  return ctx.finish();
+}

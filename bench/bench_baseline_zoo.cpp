@@ -1,0 +1,82 @@
+// Z1 — The full algorithm zoo on one workload: every algorithm in the
+// registry (including the out-of-model oracle floor and the biology-side
+// response-threshold model) under the same sigmoid-noise workload, reporting
+// steady-state regret, closeness (regret / γ*Σd) and exact switch rates.
+//
+// Expected ordering (the paper's narrative in one table):
+//   oracle (floor, knows demands)  <  precise-sigmoid  <  ant
+//   <  threshold / sequential-ish baselines  <  trivial (oscillates).
+#include "algo/registry.h"
+#include "common.h"
+
+using namespace antalloc;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const Count demand = args.get_int("demand", 2000);
+  const std::int32_t k = static_cast<std::int32_t>(args.get_int("k", 2));
+  const double lambda = args.get_double("lambda", 0.35);
+  const double gamma = args.get_double("gamma", 0.05);
+  const auto rounds = args.get_int("rounds", 10'000);
+  args.check_unknown();
+
+  const DemandVector demands = uniform_demands(k, demand);
+  const Count n = 4 * demands.total();
+  const double gstar = bench::practical_gamma_star(lambda, demands);
+
+  bench::print_header(
+      "Z1 / algorithm zoo: one workload, every algorithm (agent engine, "
+      "exact switch counts)",
+      "ordering: oracle < precise-sigmoid < ant < threshold < trivial");
+  bench::print_gamma_star(lambda, demands, n);
+  std::printf("n=%lld, k=%d, d=%lld, gamma=%.3f, %lld rounds\n\n",
+              static_cast<long long>(n), k, static_cast<long long>(demand),
+              gamma, static_cast<long long>(rounds));
+
+  bench::BenchContext ctx("bench_baseline_zoo",
+                          {"algorithm", "avg_regret", "closeness(g*)",
+                           "switches/ant/round"});
+
+  struct Row {
+    std::string name;
+    double regret;
+  };
+  std::vector<Row> rows;
+  for (const auto& name : algorithm_names()) {
+    AlgoConfig algo{.name = name, .gamma = gamma, .epsilon = 0.5};
+    auto agent = make_agent_algorithm(algo);
+    SigmoidFeedback fm(lambda);
+    // Warm start just above demand so slow-drain algorithms are measured at
+    // their steady state, same for all.
+    const auto warm =
+        static_cast<Count>(static_cast<double>(demand) * (1.0 + gamma));
+    AgentSimConfig sim{
+        .n_ants = n,
+        .rounds = rounds,
+        .seed = 3,
+        .metrics = {.gamma = gamma, .warmup = rounds / 2},
+        .initial_loads = std::vector<Count>(static_cast<std::size_t>(k), warm)};
+    const auto res = run_agent_sim(*agent, fm, demands, sim);
+    const double closeness =
+        res.post_warmup_average() /
+        (gstar * static_cast<double>(demands.total()));
+    ctx.table.add_row({name, Table::fmt(res.post_warmup_average(), 5),
+                       Table::fmt(closeness, 3),
+                       Table::fmt(static_cast<double>(res.switches) /
+                                      static_cast<double>(res.rounds) /
+                                      static_cast<double>(n),
+                                  4)});
+    rows.push_back({name, res.post_warmup_average()});
+  }
+
+  auto regret_of = [&](const std::string& name) {
+    for (const auto& r : rows) {
+      if (r.name == name) return r.regret;
+    }
+    return -1.0;
+  };
+  // Ordering gates.
+  if (!(regret_of("oracle") <= regret_of("precise-sigmoid"))) ctx.exit_code = 1;
+  if (!(regret_of("ant") < regret_of("trivial"))) ctx.exit_code = 1;
+  return ctx.finish();
+}

@@ -1,0 +1,68 @@
+// E1 — Figure 1 analog: the sigmoid feedback curve and its grey zone.
+//
+// Paper claim (Figure 1, §2.2): the probability of receiving `overload`
+// follows 1 - s(Δ); outside the grey zone [-γ*d, γ*d] every ant receives the
+// correct signal w.h.p.; at deficit 0 the signal is a fair coin.
+//
+// We sweep the deficit across the zone, draw many per-ant samples at each
+// point, and print empirical vs. analytic probabilities together with the
+// grey-zone edges.
+#include <cmath>
+
+#include "common.h"
+#include "rng/xoshiro.h"
+
+using namespace antalloc;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const Count demand = args.get_int("demand", 1000);
+  const double lambda = args.get_double("lambda", 0.02);
+  const auto draws = args.get_int("draws", 200'000);
+  const Count n_ants = args.get_int("n", 1 << 16);
+  args.check_unknown();
+
+  const DemandVector d({demand});
+  bench::print_header(
+      "E1 / Figure 1: sigmoid feedback curve",
+      "P[overload] = 1 - s(deficit); grey zone edges where error ~ delta");
+  bench::print_gamma_star(lambda, d, n_ants);
+  const double gstar = bench::practical_gamma_star(lambda, d);
+  std::printf("grey zone (delta=1e-6): [%.1f, %.1f] around deficit 0\n\n",
+              -gstar * static_cast<double>(demand),
+              gstar * static_cast<double>(demand));
+
+  const SigmoidFeedback fm(lambda);
+  rng::Xoshiro256 gen(4242);
+
+  bench::BenchContext ctx(
+      "bench_fig1_feedback_curve",
+      {"deficit", "deficit/d", "P_overload_theory", "P_overload_measured",
+       "abs_error", "zone"});
+
+  const double half = gstar * static_cast<double>(demand);
+  for (const double frac : {-2.0, -1.5, -1.0, -0.75, -0.5, -0.25, -0.1, 0.0,
+                            0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}) {
+    const double deficit = frac * half;
+    std::int64_t overloads = 0;
+    for (std::int64_t i = 0; i < draws; ++i) {
+      if (fm.sample(1, 0, i, deficit, static_cast<double>(demand), gen) ==
+          Feedback::kOverload) {
+        ++overloads;
+      }
+    }
+    const double measured =
+        static_cast<double>(overloads) / static_cast<double>(draws);
+    const double theory = 1.0 - sigmoid(lambda, deficit);
+    const char* zone = std::abs(deficit) < half      ? "grey"
+                       : std::abs(deficit) == half   ? "edge"
+                                                     : "certain";
+    ctx.table.add_row({Table::fmt(deficit, 5),
+                       Table::fmt(deficit / static_cast<double>(demand), 3),
+                       Table::fmt(theory, 5), Table::fmt(measured, 5),
+                       Table::fmt(std::abs(theory - measured), 3), zone});
+    // Shape check: measured must track theory within Monte-Carlo noise.
+    if (std::abs(theory - measured) > 0.01) ctx.exit_code = 1;
+  }
+  return ctx.finish();
+}

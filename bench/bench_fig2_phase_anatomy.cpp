@@ -1,0 +1,101 @@
+// E2 — Figure 2 analog: the anatomy of one Algorithm Ant phase.
+//
+// Paper claims (Figure 2, Claim 4.2): within a phase the second sample is
+// taken at a load reduced to ~W(1 - cs*gamma); once the committed load
+// enters the stable zone [d(1+gamma), d(1+(0.9cs-1)gamma)] it neither grows
+// nor shrinks at phase boundaries (the first sample shows overload for
+// everyone, the second shows lack for everyone).
+//
+// We run a single task from a hostile start, print the first phases'
+// (full load, dipped load, committed load after the decision), then report
+// how often the steady state sits inside the stable zone.
+#include <cmath>
+
+#include "aggregate/aggregate_sim.h"
+#include "algo/ant.h"
+#include "common.h"
+
+using namespace antalloc;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const Count demand = args.get_int("demand", 20'000);
+  const double lambda = args.get_double("lambda", 0.035);
+  const double gamma = args.get_double("gamma", 0.05);
+  const auto phases = args.get_int("phases", 4000);
+  args.check_unknown();
+
+  const DemandVector d({demand});
+  const Count n = 4 * demand;
+  bench::print_header(
+      "E2 / Figure 2: two-sample phase anatomy and the stable zone",
+      "second sample at ~W(1-cs*g); stable zone absorbs the committed load");
+  bench::print_gamma_star(lambda, d, n);
+
+  const AntParams params{.gamma = gamma};
+  const double gstar = bench::practical_gamma_star(lambda, d);
+  // Absorbing band under sigmoid noise: above d(1+gamma) no joins can
+  // trigger (first sample shows overload w.h.p.); below the point where the
+  // dipped load still exceeds d(1+gamma*) no leaves can trigger (second
+  // sample shows lack w.h.p.). Claim 4.2's stable zone is its lower part.
+  const double zone_lo = static_cast<double>(demand) * (1.0 + gamma);
+  const double zone_hi = static_cast<double>(demand) * (1.0 + gstar) /
+                         (1.0 - 0.9 * params.pause_probability());
+  std::printf("absorbing band: [%.0f, %.0f]; expected dip factor 1-cs*g = "
+              "%.4f\n\n",
+              zone_lo, zone_hi, 1.0 - params.pause_probability());
+
+  AntAggregate kernel(params);
+  const SigmoidFeedback fm(lambda);
+  kernel.reset(Allocation(n, {Count{0}}), 7);
+
+  bench::BenchContext ctx("bench_fig2_phase_anatomy",
+                          {"phase", "W_full", "W_dip", "dip_ratio",
+                           "W_committed", "in_stable_zone"});
+
+  Count w_full = 0;
+  Count w_dip = 0;
+  std::int64_t in_zone = 0;
+  std::int64_t settled_phases = 0;
+  double dip_ratio_sum = 0.0;
+  const Round settle_after = phases / 2;
+
+  for (Round p = 0; p < phases; ++p) {
+    const auto odd = kernel.step(2 * p + 1, d, fm);
+    w_dip = odd.loads[0];
+    const auto even = kernel.step(2 * p + 2, d, fm);
+    const Count committed = even.loads[0];
+    const bool in_stable = static_cast<double>(committed) >= zone_lo - 1 &&
+                           static_cast<double>(committed) <= zone_hi + 1;
+    if (p < 8 || (p >= settle_after && p < settle_after + 4)) {
+      ctx.table.add_row(
+          {Table::fmt(static_cast<std::int64_t>(p)), Table::fmt(w_full),
+           Table::fmt(w_dip),
+           w_full > 0 ? Table::fmt(static_cast<double>(w_dip) /
+                                       static_cast<double>(w_full),
+                                   4)
+                      : "-",
+           Table::fmt(committed), in_stable ? "yes" : "no"});
+    }
+    if (p >= settle_after) {
+      ++settled_phases;
+      if (in_stable) ++in_zone;
+      if (w_full > 0) {
+        dip_ratio_sum +=
+            static_cast<double>(w_dip) / static_cast<double>(w_full);
+      }
+    }
+    w_full = committed;
+  }
+
+  const double zone_frac =
+      static_cast<double>(in_zone) / static_cast<double>(settled_phases);
+  const double mean_dip = dip_ratio_sum / static_cast<double>(settled_phases);
+  std::printf("\nsettled phases in stable zone: %.1f%%   mean dip ratio: %.4f"
+              " (expected %.4f)\n",
+              100.0 * zone_frac, mean_dip, 1.0 - params.pause_probability());
+  if (std::abs(mean_dip - (1.0 - params.pause_probability())) > 0.01) {
+    ctx.exit_code = 1;
+  }
+  return ctx.finish();
+}

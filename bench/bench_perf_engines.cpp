@@ -1,0 +1,95 @@
+// P1 — Engine microbenchmarks (google-benchmark): cost per simulated round
+// of the aggregate kernel (independent of n) vs the agent engine (linear in
+// n), plus the samplers the aggregate engine is built on.
+#include <benchmark/benchmark.h>
+
+#include "aggregate/aggregate_sim.h"
+#include "agent/agent_sim.h"
+#include "algo/ant.h"
+#include "algo/precise_sigmoid.h"
+#include "noise/sigmoid.h"
+#include "rng/binomial.h"
+#include "rng/poisson_binomial.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using namespace antalloc;
+
+void BM_BinomialSmallMean(benchmark::State& state) {
+  rng::Xoshiro256 gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::binomial(gen, 1 << 20, 1e-5));
+  }
+}
+BENCHMARK(BM_BinomialSmallMean);
+
+void BM_BinomialLargeMean(benchmark::State& state) {
+  rng::Xoshiro256 gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::binomial(gen, 1 << 20, 0.3));
+  }
+}
+BENCHMARK(BM_BinomialLargeMean);
+
+void BM_PoissonBinomialPmf(benchmark::State& state) {
+  const std::vector<double> p(static_cast<std::size_t>(state.range(0)), 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::poisson_binomial_pmf(p));
+  }
+}
+BENCHMARK(BM_PoissonBinomialPmf)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_AggregateAntRound(benchmark::State& state) {
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  const Count n = Count{1} << 20;
+  const DemandVector demands = uniform_demands(k, n / (4 * k));
+  AntAggregate kernel(AntParams{.gamma = 0.02});
+  kernel.reset(Allocation::all_idle(n, k), 3);
+  const SigmoidFeedback fm(0.01);
+  Round t = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.step(t++, demands, fm));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AggregateAntRound)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_AggregatePreciseSigmoidRound(benchmark::State& state) {
+  const Count n = Count{1} << 20;
+  const DemandVector demands = uniform_demands(8, n / 32);
+  PreciseSigmoidAggregate kernel({.gamma = 0.05, .epsilon = 0.25});
+  kernel.reset(Allocation::all_idle(n, 8), 3);
+  const SigmoidFeedback fm(0.01);
+  Round t = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.step(t++, demands, fm));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AggregatePreciseSigmoidRound);
+
+void BM_AgentAntRound(benchmark::State& state) {
+  const auto n = static_cast<Count>(state.range(0));
+  const std::int32_t k = 4;
+  AntAgent algo(AntParams{.gamma = 0.05});
+  SigmoidFeedback fm(0.05);
+  const DemandVector demands = uniform_demands(k, n / (4 * k));
+  std::vector<TaskId> assignment(static_cast<std::size_t>(n), kIdle);
+  algo.reset(n, k, assignment, 3);
+  const std::vector<double> deficits(static_cast<std::size_t>(k), 5.0);
+  const std::vector<Count> demand_counts(static_cast<std::size_t>(k),
+                                         n / (4 * k));
+  Round t = 1;
+  for (auto _ : state) {
+    const FeedbackAccess fb(fm, t, deficits, demand_counts, 3);
+    algo.step(t, fb, assignment);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AgentAntRound)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

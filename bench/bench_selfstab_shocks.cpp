@@ -1,0 +1,97 @@
+// E6 — Self-stabilization: Algorithm Ant recovers the 5γ·d band after
+// arbitrary starting allocations and mid-run demand shocks (§1, Remark 3.4:
+// "our algorithm trivially also works — due to its self-stabilizing nature —
+// for changing demands").
+//
+// For each scenario in the standard suite we report the steady-state regret,
+// the number of out-of-band rounds, and the measured recovery time after the
+// last shock (rounds until the deficit re-enters the band for good).
+#include "metrics/oscillation.h"
+#include "common.h"
+#include "sim/scenario.h"
+
+using namespace antalloc;
+
+namespace {
+
+// Rounds (relative to the trace tail) after which every task's deficit stays
+// inside the band until the end of the run.
+Round recovery_round(const Trace& trace, const DemandSchedule& schedule,
+                     double gamma) {
+  if (trace.size() == 0) return 0;
+  std::size_t last_bad = 0;
+  bool any_bad = false;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& demands = schedule.demands_at(trace.round_at(i));
+    for (TaskId j = 0; j < trace.num_tasks(); ++j) {
+      const double band = 5.0 * gamma * static_cast<double>(demands[j]) + 3.0;
+      if (std::abs(static_cast<double>(trace.deficit_at(i, j))) > band) {
+        last_bad = i;
+        any_bad = true;
+      }
+    }
+  }
+  return any_bad ? trace.round_at(last_bad) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const Count demand = args.get_int("demand", 20'000);
+  const std::int32_t k = static_cast<std::int32_t>(args.get_int("k", 4));
+  const double lambda = args.get_double("lambda", 0.035);
+  const double gamma = args.get_double("gamma", 0.05);
+  const auto rounds = args.get_int("rounds", 24'000);
+  args.check_unknown();
+
+  const DemandVector base = uniform_demands(k, demand);
+  const Count n = 4 * base.total();
+  bench::print_header(
+      "E6 / self-stabilization: recovery from hostile starts and demand "
+      "shocks",
+      "after every shock the deficits re-enter the 5*gamma*d band");
+  bench::print_gamma_star(lambda, base, n);
+
+  bench::BenchContext ctx("bench_selfstab_shocks",
+                          {"scenario", "avg_regret(post)", "band_budget",
+                           "violations", "last_violation_round",
+                           "final_regret"});
+
+  for (const auto& scenario : standard_scenarios(base, rounds)) {
+    ExperimentConfig cfg;
+    cfg.algo.name = "ant";
+    cfg.algo.gamma = gamma;
+    cfg.n_ants = n;
+    cfg.rounds = rounds;
+    cfg.seed = 23;
+    cfg.initial = scenario.initial;
+    cfg.metrics.gamma = gamma;
+    cfg.metrics.warmup = rounds * 3 / 4;  // after the last shock settles
+    cfg.metrics.trace_stride = 8;
+    SigmoidFeedback fm(lambda);
+    const auto res = run_experiment(cfg, fm, scenario.schedule);
+
+    const auto& final_demands = scenario.schedule.demands_at(rounds);
+    double final_regret = 0.0;
+    for (TaskId j = 0; j < k; ++j) {
+      final_regret += std::abs(static_cast<double>(
+          final_demands[j] - res.final_loads[static_cast<std::size_t>(j)]));
+    }
+    const double budget =
+        5.0 * gamma * static_cast<double>(final_demands.total()) + 3.0 * k;
+    const Round recovered =
+        recovery_round(res.trace, scenario.schedule, gamma);
+    ctx.table.add_row({scenario.name, Table::fmt(res.post_warmup_average(), 5),
+                       Table::fmt(budget, 5),
+                       Table::fmt(res.violation_rounds),
+                       Table::fmt(recovered), Table::fmt(final_regret, 5)});
+    // Shape: recovered within a bounded window after the last shock, and
+    // inside the band on average.
+    const Round deadline = scenario.schedule.last_change() + 3000;
+    if (recovered > deadline || res.post_warmup_average() > budget) {
+      ctx.exit_code = 1;
+    }
+  }
+  return ctx.finish();
+}

@@ -1,0 +1,67 @@
+// E4 — Theorem 3.1, second part: the deficit exceeds the 5γ·d(j)+3 band in
+// at most O(k·log n / γ) rounds per interval, concentrated in the
+// convergence transient.
+//
+// Sweep γ and k from a cold start and report the measured violation-round
+// count against k·ln(n)/γ. The shape: violations shrink as γ grows, grow
+// ~linearly in k, and match the predicted order (ratio bounded by a modest
+// constant).
+#include <cmath>
+
+#include "common.h"
+
+using namespace antalloc;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const Count demand = args.get_int("demand", 20'000);
+  const double lambda = args.get_double("lambda", 0.035);
+  const auto rounds = args.get_int("rounds", 20'000);
+  const auto replicates = args.get_int("replicates", 8);
+  args.check_unknown();
+
+  bench::print_header(
+      "E4 / Theorem 3.1: rounds violating |deficit| <= 5*gamma*d + 3",
+      "violations = O(k log n / gamma), concentrated at the start");
+
+  bench::BenchContext ctx("bench_thm31_deficit_violations",
+                          {"k", "gamma", "violation_rounds", "ci95",
+                           "k_logn_over_gamma", "ratio"});
+
+  struct Case {
+    std::int32_t k;
+    double gamma;
+  };
+  for (const auto& c : {Case{1, 0.02}, Case{1, 0.04}, Case{1, 0.08},
+                        Case{4, 0.02}, Case{4, 0.04}, Case{4, 0.08},
+                        Case{16, 0.04}}) {
+    const DemandVector demands = uniform_demands(c.k, demand);
+    const Count n = 4 * demands.total();
+    ExperimentConfig cfg;
+    cfg.algo.name = "ant";
+    cfg.algo.gamma = c.gamma;
+    cfg.n_ants = n;
+    cfg.rounds = rounds;
+    cfg.seed = 7;
+    cfg.metrics.gamma = c.gamma;
+    const auto results = run_replicated_experiment(
+        cfg, [&] { return std::make_unique<SigmoidFeedback>(lambda); },
+        DemandSchedule(demands), replicates);
+
+    RunningStats violations;
+    for (const auto& r : results) {
+      violations.add(static_cast<double>(r.violation_rounds));
+    }
+    const double predicted =
+        static_cast<double>(c.k) * std::log(static_cast<double>(n)) / c.gamma;
+    ctx.table.add_row({Table::fmt(static_cast<std::int64_t>(c.k)),
+                       Table::fmt(c.gamma, 3),
+                       Table::fmt(violations.mean(), 5),
+                       Table::fmt(violations.ci_halfwidth(), 3),
+                       Table::fmt(predicted, 5),
+                       Table::fmt(violations.mean() / predicted, 3)});
+    // Shape: a bounded constant times the predicted order.
+    if (violations.mean() > 20.0 * predicted) ctx.exit_code = 1;
+  }
+  return ctx.finish();
+}

@@ -1,0 +1,77 @@
+// E3 — Theorem 3.1: Algorithm Ant's steady-state regret is linear in γ and
+// bounded by (5γ·Σd + 3k) per round.
+//
+// We sweep γ over a multiple of γ*, run replicated long-horizon simulations
+// from a cold start, and report the post-warmup average regret against the
+// theorem's per-round budget. The shape that must hold: the measured slope
+// grows ~linearly with γ and the ratio measured/bound stays in (0, 1].
+#include "common.h"
+
+using namespace antalloc;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::int32_t k = static_cast<std::int32_t>(args.get_int("k", 4));
+  const Count demand = args.get_int("demand", 20'000);
+  const double lambda = args.get_double("lambda", 0.035);
+  const auto rounds = args.get_int("rounds", 20'000);
+  const auto replicates = args.get_int("replicates", 8);
+  args.check_unknown();
+
+  const DemandVector demands = uniform_demands(k, demand);
+  const Count n = 4 * demands.total();
+  const double gstar = bench::practical_gamma_star(lambda, demands);
+
+  bench::print_header(
+      "E3 / Theorem 3.1: R(t)/t <= 5*gamma*sum(d) + 3 per task, linear in "
+      "gamma",
+      "sweep gamma >= gamma*; ratio measured/bound must sit in (0, 1]");
+  bench::print_gamma_star(lambda, demands, n);
+  std::printf("n=%lld, k=%d, d=%lld each, rounds=%lld, replicates=%lld\n\n",
+              static_cast<long long>(n), k, static_cast<long long>(demand),
+              static_cast<long long>(rounds),
+              static_cast<long long>(replicates));
+
+  bench::BenchContext ctx("bench_thm31_regret_vs_gamma",
+                          {"gamma", "gamma/gamma*", "avg_regret", "ci95",
+                           "bound_5g_sum_d", "ratio", "violations"});
+
+  int row = 0;
+  double prev_regret = 0.0;
+  for (const double mult : {1.0, 1.5, 2.0, 3.0, 4.0, 6.0}) {
+    const double gamma = mult * gstar;
+    if (gamma > 1.0 / 16.0) break;
+    ExperimentConfig cfg;
+    cfg.algo.name = "ant";
+    cfg.algo.gamma = gamma;
+    cfg.n_ants = n;
+    cfg.rounds = rounds;
+    cfg.seed = 31 + row;
+    cfg.metrics.gamma = gamma;
+    cfg.metrics.warmup = rounds / 2;
+    const auto results = run_replicated_experiment(
+        cfg, [&] { return std::make_unique<SigmoidFeedback>(lambda); },
+        DemandSchedule(demands), replicates);
+
+    RunningStats regret;
+    RunningStats violations;
+    for (const auto& r : results) {
+      regret.add(r.post_warmup_average());
+      violations.add(static_cast<double>(r.violation_rounds));
+    }
+    const double bound =
+        5.0 * gamma * static_cast<double>(demands.total()) + 3.0 * k;
+    const double ratio = regret.mean() / bound;
+    ctx.table.add_row({Table::fmt(gamma, 4), Table::fmt(mult, 3),
+                       Table::fmt(regret.mean(), 5),
+                       Table::fmt(regret.ci_halfwidth(), 3),
+                       Table::fmt(bound, 5), Table::fmt(ratio, 3),
+                       Table::fmt(violations.mean(), 4)});
+    // Shape checks: within the bound, and (roughly) growing with gamma.
+    if (ratio > 1.0) ctx.exit_code = 1;
+    if (row > 0 && regret.mean() < 0.5 * prev_regret) ctx.exit_code = 1;
+    prev_regret = regret.mean();
+    ++row;
+  }
+  return ctx.finish();
+}

@@ -1,0 +1,88 @@
+// E5 — Theorem 3.1 scaling: the regret bound R(t) <= c·n·k/γ + (5γΣd+3)t has
+// a one-time term ∝ n·k/γ (the initial flood being drained) and a perpetual
+// slope ∝ γ·Σd.
+//
+// Two sweeps: (a) n from 2^14 to 2^20 at fixed k (demands scale with n so
+// Σd = n/4): slope must scale ∝ Σd; (b) k from 1 to 32 at fixed per-task
+// demand: slope must scale ∝ k. We also report the measured startup regret
+// (total minus slope·t) against n·k/γ.
+#include "common.h"
+
+using namespace antalloc;
+
+namespace {
+
+struct Row {
+  Count n;
+  std::int32_t k;
+};
+
+void run_case(bench::BenchContext& ctx, Count n, std::int32_t k,
+              double lambda_scale, double gamma, Round rounds,
+              std::int64_t replicates) {
+  // Per-task demand: n/(4k) so total demand = n/4 (within Assumptions 2.1).
+  const Count demand = n / (4 * k);
+  const DemandVector demands = uniform_demands(k, demand);
+  // Keep the practical gamma* constant across sizes by scaling lambda.
+  const double lambda = lambda_scale / static_cast<double>(demand);
+
+  ExperimentConfig cfg;
+  cfg.algo.name = "ant";
+  cfg.algo.gamma = gamma;
+  cfg.n_ants = n;
+  cfg.rounds = rounds;
+  cfg.seed = 17;
+  cfg.metrics.gamma = gamma;
+  cfg.metrics.warmup = rounds / 2;
+  const auto results = run_replicated_experiment(
+      cfg, [&] { return std::make_unique<SigmoidFeedback>(lambda); },
+      DemandSchedule(demands), replicates);
+
+  RunningStats slope;
+  RunningStats startup;
+  for (const auto& r : results) {
+    slope.add(r.post_warmup_average());
+    startup.add(r.total_regret -
+                r.post_warmup_average() * static_cast<double>(r.rounds));
+  }
+  const double slope_budget =
+      5.0 * gamma * static_cast<double>(demands.total()) + 3.0 * k;
+  const double startup_budget =
+      static_cast<double>(n) * static_cast<double>(k) / gamma;
+  ctx.table.add_row(
+      {Table::fmt(n), Table::fmt(static_cast<std::int64_t>(k)),
+       Table::fmt(demands.total()), Table::fmt(slope.mean(), 5),
+       Table::fmt(slope_budget, 5), Table::fmt(slope.mean() / slope_budget, 3),
+       Table::fmt(startup.mean(), 4),
+       Table::fmt(startup.mean() / startup_budget, 4)});
+  if (slope.mean() > slope_budget) ctx.exit_code = 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const double gamma = args.get_double("gamma", 0.04);
+  const auto rounds = args.get_int("rounds", 16'000);
+  const auto replicates = args.get_int("replicates", 6);
+  // lambda is chosen so gamma*(1e-6) ~ 0.02 regardless of demand size.
+  const double lambda_scale = args.get_double("lambda_scale", 700.0);
+  args.check_unknown();
+
+  bench::print_header(
+      "E5 / Theorem 3.1 scaling: slope ~ 5*gamma*sum(d), startup ~ n*k/gamma",
+      "sweep n at fixed k, then k at fixed n; ratios must stay bounded");
+
+  bench::BenchContext ctx("bench_thm31_scaling",
+                          {"n", "k", "sum_d", "slope", "slope_budget",
+                           "slope_ratio", "startup_regret", "startup/nk*g"});
+
+  for (const Count n : {Count{1} << 14, Count{1} << 16, Count{1} << 18,
+                        Count{1} << 20}) {
+    run_case(ctx, n, 4, lambda_scale, gamma, rounds, replicates);
+  }
+  for (const std::int32_t k : {1, 2, 8, 32}) {
+    run_case(ctx, Count{1} << 18, k, lambda_scale, gamma, rounds, replicates);
+  }
+  return ctx.finish();
+}

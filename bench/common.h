@@ -1,0 +1,74 @@
+// Shared scaffolding for the experiment benches: standard flags, table +
+// CSV emission, and γ* reporting. Every bench prints a paper-shaped table to
+// stdout and mirrors it to <name>.csv in the working directory.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "aggregate/aggregate_sim.h"
+#include "agent/agent_sim.h"
+#include "core/critical_value.h"
+#include "io/args.h"
+#include "io/csv.h"
+#include "io/table.h"
+#include "noise/sigmoid.h"
+#include "parallel/trial_runner.h"
+#include "sim/experiment.h"
+#include "stats/summary.h"
+
+namespace antalloc::bench {
+
+// The error floor used for the "practical" critical value γ*(δ). The paper's
+// Definition 2.3 uses δ = n^{-8}, which exceeds 1/2 for laptop-scale n and d;
+// benches report both (see DESIGN.md §5.3).
+inline constexpr double kPracticalDelta = 1e-6;
+
+struct BenchContext {
+  std::string name;
+  Table table;
+  int exit_code = 0;
+
+  BenchContext(std::string bench_name, std::vector<std::string> headers)
+      : name(std::move(bench_name)), table(std::move(headers)) {}
+
+  // Prints the table and writes <name>.csv. Returns exit_code for main().
+  int finish() {
+    std::printf("%s", table.render().c_str());
+    const std::string path = name + ".csv";
+    try {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f != nullptr) {
+        const std::string csv = table.to_csv();
+        std::fwrite(csv.data(), 1, csv.size(), f);
+        std::fclose(f);
+        std::printf("\n[csv written to %s]\n", path.c_str());
+      }
+    } catch (...) {
+      // CSV mirroring is best-effort; the table on stdout is authoritative.
+    }
+    return exit_code;
+  }
+};
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+// γ* at the practical floor for a sigmoid model.
+inline double practical_gamma_star(double lambda, const DemandVector& d) {
+  return critical_value_at(lambda, d, kPracticalDelta);
+}
+
+inline void print_gamma_star(double lambda, const DemandVector& d,
+                             Count n_ants) {
+  std::printf(
+      "gamma* (Def. 2.3, delta=n^-8): %.4f   gamma*(delta=1e-6): %.4f\n",
+      critical_value_sigmoid(lambda, d, n_ants),
+      practical_gamma_star(lambda, d));
+}
+
+}  // namespace antalloc::bench

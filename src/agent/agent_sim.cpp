@@ -1,0 +1,84 @@
+#include "agent/agent_sim.h"
+
+#include <stdexcept>
+
+#include "rng/splitmix.h"
+
+namespace antalloc {
+namespace {
+
+// Lays ants out to match the requested initial loads: the first loads[0]
+// ants on task 0, the next loads[1] on task 1, ..., the rest idle.
+std::vector<TaskId> initial_assignment(Count n_ants,
+                                       std::span<const Count> loads) {
+  std::vector<TaskId> assignment(static_cast<std::size_t>(n_ants), kIdle);
+  std::size_t next = 0;
+  for (std::size_t j = 0; j < loads.size(); ++j) {
+    for (Count c = 0; c < loads[j]; ++c) {
+      assignment[next++] = static_cast<TaskId>(j);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
+                        const DemandSchedule& schedule,
+                        const AgentSimConfig& cfg) {
+  const std::int32_t k = schedule.num_tasks();
+  if (k > kMaxAgentTasks) {
+    throw std::invalid_argument("run_agent_sim: k exceeds kMaxAgentTasks");
+  }
+  std::vector<Count> loads(static_cast<std::size_t>(k), 0);
+  if (!cfg.initial_loads.empty()) {
+    if (cfg.initial_loads.size() != static_cast<std::size_t>(k)) {
+      throw std::invalid_argument("run_agent_sim: initial_loads size");
+    }
+    loads = cfg.initial_loads;
+  }
+  // Validates that the loads fit within the colony.
+  Allocation init(cfg.n_ants, loads);
+
+  std::vector<TaskId> assignment = initial_assignment(cfg.n_ants, loads);
+  std::vector<TaskId> prev_assignment = assignment;
+  algo.reset(cfg.n_ants, k, assignment, cfg.seed);
+
+  MetricsRecorder recorder(k, cfg.n_ants, cfg.metrics);
+  std::vector<double> deficits(static_cast<std::size_t>(k), 0.0);
+  rng::Xoshiro256 model_gen(rng::hash_combine(cfg.seed, 0xBEEFull));
+
+  for (Round t = 1; t <= cfg.rounds; ++t) {
+    const DemandVector& demands = schedule.demands_at(t);
+    // Feedback in round t reflects the loads at time t-1.
+    for (std::int32_t j = 0; j < k; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      deficits[ju] = static_cast<double>(demands[j] - loads[ju]);
+    }
+    fm.begin_round(t, deficits, demands.values(), model_gen);
+    const FeedbackAccess fb(fm, t, deficits, demands.values(), cfg.seed);
+
+    prev_assignment = assignment;
+    algo.step(t, fb, assignment);
+
+    // Recompute loads and count exact switches.
+    std::fill(loads.begin(), loads.end(), 0);
+    std::int64_t switches = 0;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+      const TaskId a = assignment[i];
+      if (a != kIdle) ++loads[static_cast<std::size_t>(a)];
+      if (a != prev_assignment[i]) ++switches;
+    }
+    recorder.add_switches(switches);
+    recorder.record_round(t, loads, demands);
+  }
+  return recorder.finish(loads);
+}
+
+SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
+                        const DemandVector& demands,
+                        const AgentSimConfig& cfg) {
+  return run_agent_sim(algo, fm, DemandSchedule(demands), cfg);
+}
+
+}  // namespace antalloc

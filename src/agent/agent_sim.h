@@ -1,0 +1,41 @@
+// Agent-based engine: simulates every ant explicitly.
+//
+// This is the literal model of the paper — per-ant constant-memory automata,
+// per-ant feedback draws — and the only engine that can run non-i.i.d.
+// (correlated, per-ant adversarial) noise or memory-limited ants. Use the
+// aggregate engine for large colonies under i.i.d. noise; the two agree in
+// distribution (tested).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "algo/algorithm.h"
+#include "core/allocation.h"
+#include "core/demand.h"
+#include "metrics/regret.h"
+
+namespace antalloc {
+
+struct AgentSimConfig {
+  Count n_ants = 0;
+  Round rounds = 0;
+  std::uint64_t seed = 1;
+  MetricsRecorder::Options metrics{};
+  // Initial per-task loads (remaining ants idle). Empty = all idle.
+  std::vector<Count> initial_loads{};
+};
+
+// Runs `algo` under `fm` for cfg.rounds rounds against the demand schedule.
+// Switches are counted exactly (assignment diffs between rounds).
+SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
+                        const DemandSchedule& schedule,
+                        const AgentSimConfig& cfg);
+
+// Convenience overload for a constant demand vector.
+SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
+                        const DemandVector& demands,
+                        const AgentSimConfig& cfg);
+
+}  // namespace antalloc

@@ -1,0 +1,60 @@
+#include "agent/memory_fsm.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "algo/ant.h"
+#include "algo/precise_sigmoid.h"
+
+namespace antalloc {
+
+int bits_for_window(std::int32_t m) {
+  if (m < 1) throw std::invalid_argument("bits_for_window: m >= 1");
+  const auto states = static_cast<std::uint32_t>(m) + 1;  // counter in [0, m]
+  return static_cast<int>(std::bit_width(states - 1)) + kControlBits;
+}
+
+std::int32_t MemoryBudget::max_window() const {
+  const int counter_bits = bits - kControlBits;
+  if (counter_bits <= 0) return 1;
+  // Counter range [0, 2^counter_bits - 1] counts windows up to that size;
+  // keep it odd so the median is unambiguous.
+  const auto cap = static_cast<std::int64_t>(1) << counter_bits;
+  auto m = static_cast<std::int32_t>(std::min<std::int64_t>(cap - 1, 1 << 20));
+  if (m % 2 == 0) --m;
+  return std::max(m, 1);
+}
+
+double MemoryBudget::epsilon_for(double cchi) const {
+  const std::int32_t m = max_window();
+  if (m <= static_cast<std::int32_t>(2.0 * cchi) + 1) return 1.0;
+  return 2.0 * cchi / static_cast<double>(m - 1);
+}
+
+double effective_epsilon(MemoryBudget budget, double cchi) {
+  return budget.epsilon_for(cchi);
+}
+
+std::unique_ptr<AgentAlgorithm> make_memory_limited_agent(MemoryBudget budget,
+                                                          double gamma,
+                                                          double cchi) {
+  const double eps = budget.epsilon_for(cchi);
+  if (eps >= 1.0) {
+    return std::make_unique<AntAgent>(AntParams{.gamma = gamma});
+  }
+  return std::make_unique<PreciseSigmoidAgent>(PreciseSigmoidParams{
+      .gamma = gamma, .epsilon = eps, .cchi = cchi});
+}
+
+std::unique_ptr<AggregateKernel> make_memory_limited_kernel(
+    MemoryBudget budget, double gamma, double cchi) {
+  const double eps = budget.epsilon_for(cchi);
+  if (eps >= 1.0) {
+    return std::make_unique<AntAggregate>(AntParams{.gamma = gamma});
+  }
+  return std::make_unique<PreciseSigmoidAggregate>(PreciseSigmoidParams{
+      .gamma = gamma, .epsilon = eps, .cchi = cchi});
+}
+
+}  // namespace antalloc

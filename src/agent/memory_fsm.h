@@ -1,0 +1,55 @@
+// Memory-limited ants for the Theorem 3.3 tradeoff experiment.
+//
+// Theorem 3.2/3.3 pin down the memory⇄closeness exchange rate: achieving an
+// ε-close assignment requires (and with Algorithm Precise Sigmoid, suffices
+// with) Θ(log 1/ε) bits per ant. We make that measurable by budgeting the
+// dominant per-ant state of Precise Sigmoid — the sample counter of the
+// current median window — and deriving the best ε a b-bit ant can afford:
+//
+//   window counter of m samples  →  ⌈log2(m+1)⌉ bits (+2 control bits)
+//   m = ⌈2cχ/ε + 1⌉              →  ε(b) = 2cχ / (m_max(b) − 1)
+//
+// Budgets too small for any median window (m_max ≤ 2cχ + 1 ⇒ ε ≥ 1) fall
+// back to Algorithm Ant, the constant-memory baseline — exactly the floor
+// the lower bound predicts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "algo/algorithm.h"
+
+namespace antalloc {
+
+// Control bits kept by a Precise Sigmoid ant besides the window counter
+// (median-1 verdict, working/paused flag).
+inline constexpr int kControlBits = 2;
+
+// Per-ant bits needed to run a median window of m samples.
+int bits_for_window(std::int32_t m);
+
+struct MemoryBudget {
+  int bits = 8;
+
+  // Largest odd window a b-bit ant can count; >= 1.
+  std::int32_t max_window() const;
+
+  // Best ε reachable within the budget; >= 1.0 signals "no median possible,
+  // constant-memory regime".
+  double epsilon_for(double cchi = 10.0) const;
+};
+
+// Builds the best algorithm (agent / aggregate form) an ant with the given
+// budget can run: Precise Sigmoid at ε(b) when the budget allows, plain
+// Algorithm Ant otherwise.
+std::unique_ptr<AgentAlgorithm> make_memory_limited_agent(MemoryBudget budget,
+                                                          double gamma,
+                                                          double cchi = 10.0);
+std::unique_ptr<AggregateKernel> make_memory_limited_kernel(
+    MemoryBudget budget, double gamma, double cchi = 10.0);
+
+// The ε actually used by the factories above (for reporting): the theoretical
+// closeness target of a b-bit colony.
+double effective_epsilon(MemoryBudget budget, double cchi = 10.0);
+
+}  // namespace antalloc

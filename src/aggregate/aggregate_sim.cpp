@@ -1,0 +1,45 @@
+#include "aggregate/aggregate_sim.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace antalloc {
+
+SimResult run_aggregate_sim(AggregateKernel& kernel, const FeedbackModel& fm,
+                            const DemandSchedule& schedule,
+                            const AggregateSimConfig& cfg) {
+  if (!kernel.supports(fm)) {
+    throw std::invalid_argument(
+        std::string("aggregate kernel '") + std::string(kernel.name()) +
+        "' cannot simulate feedback model '" + std::string(fm.name()) +
+        "' exactly; use the agent engine");
+  }
+  const std::int32_t k = schedule.num_tasks();
+  std::vector<Count> loads(static_cast<std::size_t>(k), 0);
+  if (!cfg.initial_loads.empty()) {
+    if (cfg.initial_loads.size() != static_cast<std::size_t>(k)) {
+      throw std::invalid_argument("run_aggregate_sim: initial_loads size");
+    }
+    loads = cfg.initial_loads;
+  }
+  const Allocation init(cfg.n_ants, loads);
+  kernel.reset(init, cfg.seed);
+
+  MetricsRecorder recorder(k, cfg.n_ants, cfg.metrics);
+  AggregateKernel::RoundOutput out{};
+  for (Round t = 1; t <= cfg.rounds; ++t) {
+    const DemandVector& demands = schedule.demands_at(t);
+    out = kernel.step(t, demands, fm);
+    recorder.add_switches(out.switches);
+    recorder.record_round(t, out.loads, demands);
+  }
+  return recorder.finish(out.loads);
+}
+
+SimResult run_aggregate_sim(AggregateKernel& kernel, const FeedbackModel& fm,
+                            const DemandVector& demands,
+                            const AggregateSimConfig& cfg) {
+  return run_aggregate_sim(kernel, fm, DemandSchedule(demands), cfg);
+}
+
+}  // namespace antalloc

@@ -1,0 +1,32 @@
+// Aggregate engine: simulates the exact count-level Markov chain induced by
+// an algorithm under i.i.d.-across-ants feedback. Cost per round is O(k·…)
+// independent of n, so colonies of millions run in milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/algorithm.h"
+#include "core/allocation.h"
+#include "core/demand.h"
+#include "metrics/regret.h"
+
+namespace antalloc {
+
+struct AggregateSimConfig {
+  Count n_ants = 0;
+  Round rounds = 0;
+  std::uint64_t seed = 1;
+  MetricsRecorder::Options metrics{};
+  std::vector<Count> initial_loads{};  // empty = all idle
+};
+
+SimResult run_aggregate_sim(AggregateKernel& kernel, const FeedbackModel& fm,
+                            const DemandSchedule& schedule,
+                            const AggregateSimConfig& cfg);
+
+SimResult run_aggregate_sim(AggregateKernel& kernel, const FeedbackModel& fm,
+                            const DemandVector& demands,
+                            const AggregateSimConfig& cfg);
+
+}  // namespace antalloc

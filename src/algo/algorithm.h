@@ -1,0 +1,122 @@
+// Algorithm interfaces for the two execution engines.
+//
+// Every algorithm in this library exists in up to two equivalent forms:
+//
+//  * AgentAlgorithm — the literal per-ant automaton from the paper. The agent
+//    engine owns the assignment vector; the algorithm owns whatever per-ant
+//    memory the paper's pseudocode keeps (constant per ant) and rewrites the
+//    assignments once per round. This form supports per-ant adversaries,
+//    correlated noise and memory-limited variants.
+//
+//  * AggregateKernel — the exact count-level Markov kernel induced by the
+//    automaton when feedback is i.i.d. across ants: per-ant decisions become
+//    Binomial / Multinomial / Poisson-binomial draws over behavioural
+//    classes. No mean-field approximation is involved; the count process has
+//    exactly the law of the agent simulation (tests/aggregate_agent_match
+//    checks this). This form runs colonies of millions of ants in
+//    microseconds per round.
+//
+// Timing convention (paper §2.1): round t's feedback describes the loads at
+// time t-1; the assignment an algorithm writes during round t is the load
+// W_t. Rounds are numbered from t = 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/allocation.h"
+#include "core/demand.h"
+#include "core/types.h"
+#include "noise/feedback_model.h"
+#include "rng/splitmix.h"
+#include "rng/xoshiro.h"
+
+namespace antalloc {
+
+// Per-round feedback oracle handed to agent algorithms. Draws are
+// deterministic in (seed, round, ant, task), so re-sampling the same cell
+// returns the same value and runs are reproducible under any thread order.
+class FeedbackAccess {
+ public:
+  FeedbackAccess(FeedbackModel& fm, Round t, std::span<const double> deficits,
+                 std::span<const Count> demands, std::uint64_t seed)
+      : fm_(fm), t_(t), deficits_(deficits), demands_(demands), seed_(seed) {}
+
+  std::int32_t num_tasks() const {
+    return static_cast<std::int32_t>(deficits_.size());
+  }
+
+  // True demand of task j. In-model algorithms must not consult this (ants
+  // cannot know demands, §1); it exists for out-of-model references such as
+  // the oracle allocator and for diagnostics.
+  Count demand(TaskId j) const { return demands_[static_cast<std::size_t>(j)]; }
+
+  Feedback sample(std::int64_t ant, TaskId j) const {
+    const auto ju = static_cast<std::size_t>(j);
+    rng::Xoshiro256 gen(rng::hash_words(seed_, static_cast<std::uint64_t>(t_),
+                                        static_cast<std::uint64_t>(ant),
+                                        static_cast<std::uint64_t>(j)));
+    return fm_.sample(t_, j, ant, deficits_[ju],
+                      static_cast<double>(demands_[ju]), gen);
+  }
+
+  // Bitmask of tasks whose feedback for `ant` is lack (bit j set = lack).
+  // Only valid for k <= kMaxAgentTasks.
+  std::uint64_t sample_lack_mask(std::int64_t ant) const {
+    std::uint64_t mask = 0;
+    for (TaskId j = 0; j < num_tasks(); ++j) {
+      if (sample(ant, j) == Feedback::kLack) mask |= (1ull << j);
+    }
+    return mask;
+  }
+
+ private:
+  FeedbackModel& fm_;
+  Round t_;
+  std::span<const double> deficits_;
+  std::span<const Count> demands_;
+  std::uint64_t seed_;
+};
+
+// Per-ant automaton form.
+class AgentAlgorithm {
+ public:
+  virtual ~AgentAlgorithm() = default;
+  virtual std::string_view name() const = 0;
+
+  // Prepares per-ant state for a colony of n ants over k tasks whose round-0
+  // assignment is `initial` (size n; kIdle or a task id).
+  virtual void reset(Count n_ants, std::int32_t k,
+                     std::span<const TaskId> initial, std::uint64_t seed) = 0;
+
+  // Executes round t: reads feedback through `fb` (which reflects the loads
+  // at time t-1) and rewrites `assignment` (size n) to the round-t
+  // occupation of every ant.
+  virtual void step(Round t, const FeedbackAccess& fb,
+                    std::span<TaskId> assignment) = 0;
+};
+
+// Count-level kernel form.
+class AggregateKernel {
+ public:
+  struct RoundOutput {
+    std::span<const Count> loads;  // W(j)_t: ants performing task j in round t
+    std::int64_t switches = 0;     // assignment changes vs round t-1 (approx.)
+  };
+
+  virtual ~AggregateKernel() = default;
+  virtual std::string_view name() const = 0;
+
+  // True when this kernel can simulate under the given model exactly.
+  virtual bool supports(const FeedbackModel& fm) const {
+    return fm.iid_across_ants();
+  }
+
+  virtual void reset(const Allocation& initial, std::uint64_t seed) = 0;
+  virtual RoundOutput step(Round t, const DemandVector& demands,
+                           const FeedbackModel& fm) = 0;
+};
+
+}  // namespace antalloc

@@ -1,0 +1,182 @@
+#include "algo/ant.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "rng/binomial.h"
+#include "rng/multinomial.h"
+#include "rng/poisson_binomial.h"
+
+namespace antalloc {
+namespace {
+
+// Picks the i-th set bit (0-based) of `mask`.
+TaskId nth_set_bit(std::uint64_t mask, int index) {
+  for (int i = 0; i < index; ++i) mask &= mask - 1;
+  return static_cast<TaskId>(std::countr_zero(mask));
+}
+
+void validate(const AntParams& p) {
+  if (!(p.gamma > 0.0) || p.gamma > 1.0) {
+    throw std::invalid_argument("AntParams: gamma in (0, 1]");
+  }
+  if (p.pause_probability() >= 1.0) {
+    throw std::invalid_argument("AntParams: cs*gamma must be < 1");
+  }
+  if (p.leave_probability() >= 1.0) {
+    throw std::invalid_argument("AntParams: gamma/cd must be < 1");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Agent form
+// ---------------------------------------------------------------------------
+
+AntAgent::AntAgent(AntParams params) : params_(params) { validate(params_); }
+
+void AntAgent::reset(Count n_ants, std::int32_t k,
+                     std::span<const TaskId> initial, std::uint64_t seed) {
+  if (k > kMaxAgentTasks) {
+    throw std::invalid_argument("AntAgent: k exceeds kMaxAgentTasks");
+  }
+  seed_ = seed;
+  k_ = k;
+  current_task_.assign(initial.begin(), initial.end());
+  s1_lack_.assign(static_cast<std::size_t>(n_ants), 0);
+}
+
+void AntAgent::step(Round t, const FeedbackAccess& fb,
+                    std::span<TaskId> assignment) {
+  const auto n = static_cast<std::int64_t>(assignment.size());
+  const bool first_round_of_phase = (t % 2) == 1;
+
+  if (first_round_of_phase) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      // Line 4: commit to the task held at the end of the previous phase.
+      const TaskId ct = assignment[iu];
+      current_task_[iu] = ct;
+      rng::Xoshiro256 gen(rng::hash_words(seed_ ^ 0xA11Au,
+                                          static_cast<std::uint64_t>(t),
+                                          static_cast<std::uint64_t>(i)));
+      if (ct == kIdle) {
+        // Idle ants need the full first-sample vector for the join rule.
+        s1_lack_[iu] = fb.sample_lack_mask(i);
+        assignment[iu] = kIdle;
+      } else {
+        // Working ants only ever consult their own task's sample.
+        const Feedback s1 = fb.sample(i, ct);
+        s1_lack_[iu] = (s1 == Feedback::kLack) ? (1ull << ct) : 0;
+        assignment[iu] =
+            gen.bernoulli(params_.pause_probability()) ? kIdle : ct;
+      }
+    }
+    return;
+  }
+
+  // Second round of the phase: sample s2 and decide.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const TaskId ct = current_task_[iu];
+    rng::Xoshiro256 gen(rng::hash_words(seed_ ^ 0xA22Au,
+                                        static_cast<std::uint64_t>(t),
+                                        static_cast<std::uint64_t>(i)));
+    if (ct == kIdle) {
+      const std::uint64_t both_lack = s1_lack_[iu] & fb.sample_lack_mask(i);
+      if (both_lack == 0) {
+        assignment[iu] = kIdle;
+      } else {
+        const int choices = std::popcount(both_lack);
+        const int pick = static_cast<int>(
+            gen.uniform_below(static_cast<std::uint64_t>(choices)));
+        assignment[iu] = nth_set_bit(both_lack, pick);
+      }
+    } else {
+      const bool s1_over = (s1_lack_[iu] & (1ull << ct)) == 0;
+      const bool s2_over = fb.sample(i, ct) == Feedback::kOverload;
+      const bool leave = s1_over && s2_over &&
+                         gen.bernoulli(params_.leave_probability());
+      assignment[iu] = leave ? kIdle : ct;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate form
+// ---------------------------------------------------------------------------
+
+AntAggregate::AntAggregate(AntParams params) : params_(params) {
+  validate(params_);
+}
+
+void AntAggregate::reset(const Allocation& initial, std::uint64_t seed) {
+  gen_ = rng::Xoshiro256(rng::hash_combine(seed, 0xA99Au));
+  const auto k = static_cast<std::size_t>(initial.num_tasks());
+  assigned_.assign(initial.loads().begin(), initial.loads().end());
+  paused_.assign(k, 0);
+  visible_ = assigned_;
+  prev_visible_ = assigned_;
+  p1_lack_.assign(k, 0.0);
+  scratch_.assign(k, 0.0);
+  idle_ = initial.idle();
+}
+
+AggregateKernel::RoundOutput AntAggregate::step(Round t,
+                                                const DemandVector& demands,
+                                                const FeedbackModel& fm) {
+  const auto k = static_cast<std::size_t>(demands.num_tasks());
+  std::int64_t switches = 0;
+  prev_visible_ = visible_;
+
+  if (t % 2 == 1) {
+    // First round: record the first-sample distribution, then pause a
+    // Binomial(assigned, cs*gamma) subset of each task's workers.
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto tj = static_cast<TaskId>(j);
+      const double deficit =
+          static_cast<double>(demands[tj] - prev_visible_[j]);
+      p1_lack_[j] = fm.lack_probability(t, tj, deficit,
+                                        static_cast<double>(demands[tj]));
+      paused_[j] =
+          rng::binomial(gen_, assigned_[j], params_.pause_probability());
+      visible_[j] = assigned_[j] - paused_[j];
+      switches += paused_[j];
+    }
+    return {visible_, switches};
+  }
+
+  // Second round: second sample of the reduced loads, then permanent
+  // leaves and idle-pool joins.
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto tj = static_cast<TaskId>(j);
+    const double deficit = static_cast<double>(demands[tj] - prev_visible_[j]);
+    const double p2 = fm.lack_probability(t, tj, deficit,
+                                          static_cast<double>(demands[tj]));
+    // Per committed ant: P(leave) = P(s1 = s2 = overload) * gamma/cd.
+    const double p_leave =
+        (1.0 - p1_lack_[j]) * (1.0 - p2) * params_.leave_probability();
+    const Count leaves = rng::binomial(gen_, assigned_[j], p_leave);
+    assigned_[j] -= leaves;
+    idle_ += leaves;
+    switches += leaves + paused_[j];  // leavers + resuming paused ants
+    // Per idle ant: P(both samples lack) for the join rule.
+    scratch_[j] = p1_lack_[j] * p2;
+    paused_[j] = 0;
+  }
+
+  const std::vector<double> join_marginals =
+      rng::uniform_choice_marginals(scratch_);
+  const std::vector<Count> joins =
+      rng::multinomial_rest(gen_, idle_, join_marginals);
+  for (std::size_t j = 0; j < k; ++j) {
+    assigned_[j] += joins[j];
+    idle_ -= joins[j];
+    switches += joins[j];
+    visible_[j] = assigned_[j];
+  }
+  return {visible_, switches};
+}
+
+}  // namespace antalloc

@@ -1,0 +1,50 @@
+#include "algo/oracle.h"
+
+#include <algorithm>
+
+namespace antalloc {
+
+void OracleAggregate::reset(const Allocation& initial, std::uint64_t /*seed*/) {
+  n_ = initial.n_ants();
+  loads_.assign(initial.loads().begin(), initial.loads().end());
+}
+
+AggregateKernel::RoundOutput OracleAggregate::step(Round /*t*/,
+                                                   const DemandVector& demands,
+                                                   const FeedbackModel&) {
+  // Satisfy demands greedily; if the colony is too small, fill in task
+  // order (the regret is then the unavoidable shortfall).
+  std::int64_t switches = 0;
+  Count budget = n_;
+  for (std::int32_t j = 0; j < demands.num_tasks(); ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const Count target = std::min(demands[j], budget);
+    switches += std::abs(loads_[ju] - target);
+    loads_[ju] = target;
+    budget -= target;
+  }
+  return {loads_, switches};
+}
+
+void OracleAgent::reset(Count /*n_ants*/, std::int32_t k,
+                        std::span<const TaskId> /*initial*/,
+                        std::uint64_t /*seed*/) {
+  k_ = k;
+}
+
+void OracleAgent::step(Round /*t*/, const FeedbackAccess& fb,
+                       std::span<TaskId> assignment) {
+  // Deterministically lay ants out to meet the demands exactly: the first
+  // d(0) ants on task 0, the next d(1) on task 1, ..., the rest idle.
+  std::size_t next = 0;
+  for (TaskId j = 0; j < k_; ++j) {
+    const auto want = static_cast<std::size_t>(std::max<Count>(0, fb.demand(j)));
+    for (std::size_t c = 0; c < want && next < assignment.size(); ++c) {
+      assignment[next++] = j;
+    }
+  }
+  std::fill(assignment.begin() + static_cast<std::ptrdiff_t>(next),
+            assignment.end(), kIdle);
+}
+
+}  // namespace antalloc

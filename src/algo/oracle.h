@@ -1,0 +1,42 @@
+// Oracle allocator: a centralized reference that sees the true demands and
+// loads and rebalances instantly every round. Unattainable in the paper's
+// model (no ant knows d(j) or W(j)), it provides the regret-zero floor that
+// benches and examples normalize against, and doubles as a harness fixture.
+#pragma once
+
+#include <vector>
+
+#include "algo/algorithm.h"
+
+namespace antalloc {
+
+class OracleAggregate final : public AggregateKernel {
+ public:
+  std::string_view name() const override { return "oracle"; }
+
+  // The oracle never consults feedback, so any model is acceptable.
+  bool supports(const FeedbackModel&) const override { return true; }
+
+  void reset(const Allocation& initial, std::uint64_t seed) override;
+  RoundOutput step(Round t, const DemandVector& demands,
+                   const FeedbackModel& fm) override;
+
+ private:
+  Count n_ = 0;
+  std::vector<Count> loads_;
+};
+
+class OracleAgent final : public AgentAlgorithm {
+ public:
+  std::string_view name() const override { return "oracle"; }
+  void reset(Count n_ants, std::int32_t k, std::span<const TaskId> initial,
+             std::uint64_t seed) override;
+  void step(Round t, const FeedbackAccess& fb,
+            std::span<TaskId> assignment) override;
+
+ private:
+  std::vector<Count> demand_hint_;  // filled per round from the feedback size
+  std::int32_t k_ = 0;
+};
+
+}  // namespace antalloc

@@ -1,0 +1,99 @@
+#include "algo/registry.h"
+
+#include <stdexcept>
+
+#include "algo/ant.h"
+#include "algo/precise_adversarial.h"
+#include "algo/precise_sigmoid.h"
+#include "algo/sharp_threshold.h"
+#include "algo/oracle.h"
+#include "algo/threshold.h"
+#include "algo/trivial.h"
+
+namespace antalloc {
+namespace {
+
+AntParams ant_params(const AlgoConfig& cfg) {
+  return AntParams{.gamma = cfg.gamma, .cs = cfg.cs, .cd = cfg.cd};
+}
+
+PreciseSigmoidParams precise_sigmoid_params(const AlgoConfig& cfg) {
+  return PreciseSigmoidParams{
+      .gamma = cfg.gamma,
+      .epsilon = cfg.epsilon,
+      .cchi = cfg.cchi,
+      .cs = cfg.cs,
+      .cd = cfg.cd,
+      .verbatim_leave_probability = cfg.verbatim_leave_probability};
+}
+
+PreciseAdversarialParams precise_adversarial_params(const AlgoConfig& cfg) {
+  return PreciseAdversarialParams{.gamma = cfg.gamma, .epsilon = cfg.epsilon};
+}
+
+[[noreturn]] void unknown(const std::string& name) {
+  throw std::invalid_argument("unknown algorithm '" + name + "'");
+}
+
+}  // namespace
+
+std::vector<std::string> algorithm_names() {
+  return {"ant", "precise-sigmoid", "precise-adversarial", "trivial",
+          "sharp-threshold", "threshold", "oracle"};
+}
+
+std::vector<std::string> in_model_algorithm_names() {
+  return {"ant", "precise-sigmoid", "precise-adversarial", "trivial",
+          "sharp-threshold"};
+}
+
+bool has_aggregate_kernel(const std::string& name) {
+  return name != "threshold";
+}
+
+std::unique_ptr<AgentAlgorithm> make_agent_algorithm(const AlgoConfig& cfg) {
+  if (cfg.name == "ant") return std::make_unique<AntAgent>(ant_params(cfg));
+  if (cfg.name == "precise-sigmoid") {
+    return std::make_unique<PreciseSigmoidAgent>(precise_sigmoid_params(cfg));
+  }
+  if (cfg.name == "precise-adversarial") {
+    return std::make_unique<PreciseAdversarialAgent>(
+        precise_adversarial_params(cfg));
+  }
+  if (cfg.name == "trivial") {
+    return std::make_unique<ReactiveAgent>(ReactiveParams{});
+  }
+  if (cfg.name == "sharp-threshold") return make_sharp_threshold_agent();
+  if (cfg.name == "threshold") {
+    return std::make_unique<ThresholdAgent>(ThresholdParams{});
+  }
+  if (cfg.name == "oracle") return std::make_unique<OracleAgent>();
+  unknown(cfg.name);
+}
+
+std::unique_ptr<AggregateKernel> make_aggregate_kernel(const AlgoConfig& cfg) {
+  if (cfg.name == "ant") {
+    return std::make_unique<AntAggregate>(ant_params(cfg));
+  }
+  if (cfg.name == "precise-sigmoid") {
+    return std::make_unique<PreciseSigmoidAggregate>(
+        precise_sigmoid_params(cfg));
+  }
+  if (cfg.name == "precise-adversarial") {
+    return std::make_unique<PreciseAdversarialAggregate>(
+        precise_adversarial_params(cfg));
+  }
+  if (cfg.name == "trivial") {
+    return std::make_unique<ReactiveAggregate>(ReactiveParams{});
+  }
+  if (cfg.name == "sharp-threshold") return make_sharp_threshold_aggregate();
+  if (cfg.name == "threshold") {
+    throw std::invalid_argument(
+        "threshold baseline has no aggregate kernel (per-ant heterogeneous "
+        "thresholds); use the agent engine");
+  }
+  if (cfg.name == "oracle") return std::make_unique<OracleAggregate>();
+  unknown(cfg.name);
+}
+
+}  // namespace antalloc

@@ -1,0 +1,37 @@
+// Factory for algorithms by name, shared by benches, examples and tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/algorithm.h"
+
+namespace antalloc {
+
+struct AlgoConfig {
+  std::string name = "ant";  // see algorithm_names()
+  double gamma = 0.02;
+  double epsilon = 0.5;  // precise variants only
+  double cs = 2.4;
+  double cd = 19.0;
+  double cchi = 10.0;                        // precise-sigmoid only
+  bool verbatim_leave_probability = false;   // precise-sigmoid only
+};
+
+// "ant", "precise-sigmoid", "precise-adversarial", "trivial",
+// "sharp-threshold", "threshold" (agent engine only), "oracle"
+// (out-of-model centralized reference).
+std::vector<std::string> algorithm_names();
+
+// The paper's in-model algorithms only (excludes the oracle, which knows the
+// demands, and the threshold baseline) — what lower-bound benches iterate.
+std::vector<std::string> in_model_algorithm_names();
+
+// Whether an exact count-level kernel exists for this algorithm.
+bool has_aggregate_kernel(const std::string& name);
+
+std::unique_ptr<AgentAlgorithm> make_agent_algorithm(const AlgoConfig& cfg);
+std::unique_ptr<AggregateKernel> make_aggregate_kernel(const AlgoConfig& cfg);
+
+}  // namespace antalloc

@@ -1,0 +1,17 @@
+#include "algo/sharp_threshold.h"
+
+namespace antalloc {
+
+std::unique_ptr<AgentAlgorithm> make_sharp_threshold_agent() {
+  return std::make_unique<ReactiveAgent>(
+      ReactiveParams{.leave_probability = kSharpThresholdLeaveProbability},
+      "sharp-threshold");
+}
+
+std::unique_ptr<AggregateKernel> make_sharp_threshold_aggregate() {
+  return std::make_unique<ReactiveAggregate>(
+      ReactiveParams{.leave_probability = kSharpThresholdLeaveProbability},
+      "sharp-threshold");
+}
+
+}  // namespace antalloc

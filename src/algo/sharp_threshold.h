@@ -1,0 +1,26 @@
+// Sharp-threshold baseline: our stand-in for the exact-binary-feedback
+// algorithm of Cornejo, Dornhaus, Lynch, Nagpal (DISC 2014), reference [11]
+// of the paper.
+//
+// The DISC'14 pseudocode is not reproduced in the paper, so per DESIGN.md §5
+// we implement the natural rule it presupposes: under *exact* feedback
+// (lack iff W <= d), idle ants join a uniformly random lacking task and
+// workers leave a task they observe overloaded with probability 1/2 (the
+// damping that lets the synchronous dynamics contract instead of emptying an
+// overloaded task outright). This converges to a near-optimal allocation
+// under exact feedback and is exactly the kind of algorithm that breaks once
+// feedback is noisy — the paper's motivation (bench E14).
+#pragma once
+
+#include <memory>
+
+#include "algo/trivial.h"
+
+namespace antalloc {
+
+inline constexpr double kSharpThresholdLeaveProbability = 0.5;
+
+std::unique_ptr<AgentAlgorithm> make_sharp_threshold_agent();
+std::unique_ptr<AggregateKernel> make_sharp_threshold_aggregate();
+
+}  // namespace antalloc

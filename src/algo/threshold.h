@@ -1,0 +1,63 @@
+// Response-threshold model: the classic biology-side alternative the paper's
+// related work discusses (Beshers & Fewell 2001; Duarte et al. 2012). Each
+// ant i carries a personal threshold θ(i,j) per task; it engages with task j
+// when the perceived stimulus exceeds its threshold and disengages when the
+// stimulus falls well below it. Stimulus here is the fraction of recent
+// lack-signals, the natural analogue of "task stimulus" in our feedback
+// model.
+//
+// This is NOT one of the paper's algorithms — it is a comparative baseline
+// showing how a heterogeneous-threshold colony behaves under the same noisy
+// feedback: thresholds spread the response (avoiding the all-at-once flood
+// of the trivial rule) but, lacking the two-sample stable zone, the colony
+// equilibrates with a persistent bias and wider wander than Algorithm Ant.
+#pragma once
+
+#include <vector>
+
+#include "algo/algorithm.h"
+
+namespace antalloc {
+
+struct ThresholdParams {
+  // Thresholds are drawn i.i.d. uniform in [lo, hi] per (ant, task).
+  double threshold_lo = 0.55;
+  double threshold_hi = 0.95;
+  // Exponential smoothing factor of the per-ant stimulus estimate.
+  double smoothing = 0.2;
+  // Hysteresis: disengage when the stimulus falls below θ - hysteresis.
+  double hysteresis = 0.25;
+};
+
+class ThresholdAgent final : public AgentAlgorithm {
+ public:
+  explicit ThresholdAgent(ThresholdParams params);
+
+  std::string_view name() const override { return "threshold"; }
+  const ThresholdParams& params() const { return params_; }
+
+  void reset(Count n_ants, std::int32_t k, std::span<const TaskId> initial,
+             std::uint64_t seed) override;
+  void step(Round t, const FeedbackAccess& fb,
+            std::span<TaskId> assignment) override;
+
+ private:
+  double& stimulus(std::int64_t ant, TaskId j) {
+    return stimulus_[static_cast<std::size_t>(ant) *
+                         static_cast<std::size_t>(k_) +
+                     static_cast<std::size_t>(j)];
+  }
+  double threshold(std::int64_t ant, TaskId j) const {
+    return thresholds_[static_cast<std::size_t>(ant) *
+                           static_cast<std::size_t>(k_) +
+                       static_cast<std::size_t>(j)];
+  }
+
+  ThresholdParams params_;
+  std::uint64_t seed_ = 0;
+  std::int32_t k_ = 0;
+  std::vector<double> thresholds_;  // n*k, fixed per colony
+  std::vector<double> stimulus_;    // n*k, smoothed lack-frequency estimate
+};
+
+}  // namespace antalloc

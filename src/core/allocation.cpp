@@ -1,0 +1,104 @@
+#include "core/allocation.h"
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "rng/multinomial.h"
+#include "rng/xoshiro.h"
+
+namespace antalloc {
+
+Allocation Allocation::all_idle(Count n_ants, std::int32_t k) {
+  if (n_ants < 0 || k <= 0) {
+    throw std::invalid_argument("Allocation: need n >= 0 and k > 0");
+  }
+  return Allocation(n_ants, std::vector<Count>(static_cast<std::size_t>(k), 0));
+}
+
+Allocation::Allocation(Count n_ants, std::vector<Count> loads)
+    : n_(n_ants), loads_(std::move(loads)) {
+  if (loads_.empty()) throw std::invalid_argument("Allocation: empty loads");
+  Count assigned = 0;
+  for (const Count w : loads_) {
+    if (w < 0) throw std::invalid_argument("Allocation: negative load");
+    assigned += w;
+  }
+  if (assigned > n_) {
+    throw std::invalid_argument("Allocation: loads exceed colony size");
+  }
+  idle_ = n_ - assigned;
+}
+
+void Allocation::join(TaskId j, Count count) {
+  if (count < 0 || count > idle_) {
+    throw std::invalid_argument("Allocation::join: bad count");
+  }
+  loads_[static_cast<std::size_t>(j)] += count;
+  idle_ -= count;
+}
+
+void Allocation::leave(TaskId j, Count count) {
+  auto& w = loads_[static_cast<std::size_t>(j)];
+  if (count < 0 || count > w) {
+    throw std::invalid_argument("Allocation::leave: bad count");
+  }
+  w -= count;
+  idle_ += count;
+}
+
+void Allocation::set_loads(std::span<const Count> loads) {
+  if (loads.size() != loads_.size()) {
+    throw std::invalid_argument("Allocation::set_loads: wrong task count");
+  }
+  Count assigned = 0;
+  for (const Count w : loads) {
+    if (w < 0) throw std::invalid_argument("Allocation::set_loads: negative");
+    assigned += w;
+  }
+  if (assigned > n_) {
+    throw std::invalid_argument("Allocation::set_loads: loads exceed n");
+  }
+  loads_.assign(loads.begin(), loads.end());
+  idle_ = n_ - assigned;
+}
+
+Count Allocation::instantaneous_regret(const DemandVector& d) const {
+  Count r = 0;
+  for (std::int32_t j = 0; j < num_tasks(); ++j) {
+    const Count delta = d[j] - load(j);
+    r += delta < 0 ? -delta : delta;
+  }
+  return r;
+}
+
+Allocation make_initial_allocation(std::string_view kind, Count n_ants,
+                                   std::int32_t k, std::uint64_t seed) {
+  const auto ku = static_cast<std::size_t>(k);
+  if (kind == "idle") return Allocation::all_idle(n_ants, k);
+  if (kind == "uniform") {
+    std::vector<Count> loads(ku, n_ants / k);
+    // Distribute the remainder over the first tasks.
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n_ants % k); ++j) {
+      ++loads[j];
+    }
+    return Allocation(n_ants, std::move(loads));
+  }
+  if (kind == "adversarial") {
+    std::vector<Count> loads(ku, 0);
+    loads[0] = n_ants;
+    return Allocation(n_ants, std::move(loads));
+  }
+  if (kind == "random") {
+    rng::Xoshiro256 gen(seed);
+    // Each ant independently picks a task or idle, uniformly over k+1 bins.
+    const std::vector<double> probs(ku, 1.0 / static_cast<double>(k + 1));
+    auto counts = rng::multinomial_rest(gen, n_ants, probs);
+    counts.pop_back();  // last bin is the idle pool
+    return Allocation(n_ants, std::move(counts));
+  }
+  throw std::invalid_argument("make_initial_allocation: unknown kind '" +
+                              std::string(kind) + "'");
+}
+
+}  // namespace antalloc

@@ -1,0 +1,60 @@
+// Allocation bookkeeping: per-task loads plus the idle pool, with the
+// invariant sum(loads) + idle == n maintained at all times.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/demand.h"
+#include "core/types.h"
+
+namespace antalloc {
+
+class Allocation {
+ public:
+  // Starts from explicit per-task loads (remaining ants idle).
+  Allocation(Count n_ants, std::vector<Count> loads);
+
+  // All ants idle over k tasks. A named factory rather than an
+  // (n, k) constructor: a single-element brace list like {Count{5}} would
+  // otherwise prefer the integral overload over the loads vector.
+  static Allocation all_idle(Count n_ants, std::int32_t k);
+
+  Count n_ants() const { return n_; }
+  std::int32_t num_tasks() const { return static_cast<std::int32_t>(loads_.size()); }
+  Count load(TaskId j) const { return loads_[static_cast<std::size_t>(j)]; }
+  Count idle() const { return idle_; }
+  std::span<const Count> loads() const { return loads_; }
+
+  Count deficit(TaskId j, const DemandVector& d) const {
+    return d[j] - load(j);
+  }
+
+  // Moves `count` ants from idle onto task j (count may be 0).
+  void join(TaskId j, Count count);
+
+  // Moves `count` ants from task j back to idle.
+  void leave(TaskId j, Count count);
+
+  // Replaces the loads wholesale (e.g. adversarial restart scenarios); the
+  // new loads must fit within n.
+  void set_loads(std::span<const Count> loads);
+
+  // Sum over tasks of |d(j) - W(j)|: the instantaneous regret r(t).
+  Count instantaneous_regret(const DemandVector& d) const;
+
+ private:
+  Count n_;
+  Count idle_;
+  std::vector<Count> loads_;
+};
+
+// Initial-allocation generators for self-stabilization experiments.
+// `kind` values: "idle" (all idle), "uniform" (ants spread evenly over
+// tasks), "adversarial" (everything crammed onto task 0), "random"
+// (multinomial over tasks+idle).
+Allocation make_initial_allocation(std::string_view kind, Count n_ants,
+                                   std::int32_t k, std::uint64_t seed);
+
+}  // namespace antalloc

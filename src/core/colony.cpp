@@ -1,0 +1,132 @@
+#include "core/colony.h"
+
+#include <stdexcept>
+
+#include "core/critical_value.h"
+#include "noise/sigmoid.h"
+
+namespace antalloc {
+
+struct Colony::Impl {
+  ColonyOptions options;
+  DemandVector demands;
+  std::shared_ptr<FeedbackModel> model;
+  std::unique_ptr<AggregateKernel> kernel;
+  std::unique_ptr<MetricsRecorder> recorder;
+  Round round = 0;
+  std::vector<Count> loads;
+  double gamma = 0.0;
+  double regret_total = 0.0;  // running R(t), independent of harvest()
+
+  void make_recorder() {
+    recorder = std::make_unique<MetricsRecorder>(
+        demands.num_tasks(), options.n_ants,
+        MetricsRecorder::Options{.gamma = gamma,
+                                 .trace_stride = options.trace_stride});
+  }
+};
+
+Colony::Colony(ColonyOptions options) : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+  impl_->demands = options.demands;
+
+  impl_->model = options.model;
+  if (impl_->model == nullptr) {
+    impl_->model = std::make_shared<SigmoidFeedback>(options.lambda);
+  }
+  if (!impl_->model->iid_across_ants()) {
+    throw std::invalid_argument(
+        "Colony: model must be i.i.d. across ants (use the agent engine "
+        "from agent/agent_sim.h for correlated noise)");
+  }
+
+  impl_->gamma = options.gamma;
+  if (impl_->gamma <= 0.0) {
+    const double gstar =
+        critical_value_at(options.lambda, impl_->demands, 1e-6);
+    impl_->gamma = 1.5 * gstar;
+    if (!(impl_->gamma > 0.0) || impl_->gamma > 1.0 / 16.0) {
+      throw std::invalid_argument(
+          "Colony: could not auto-pick gamma (1.5*gamma* = " +
+          std::to_string(impl_->gamma) +
+          " outside (0, 1/16]); pass options.gamma explicitly");
+    }
+  }
+
+  AlgoConfig algo;
+  algo.name = options.algorithm;
+  algo.gamma = impl_->gamma;
+  algo.epsilon = options.epsilon;
+  impl_->kernel = make_aggregate_kernel(algo);
+  if (!impl_->kernel->supports(*impl_->model)) {
+    throw std::invalid_argument("Colony: kernel '" + options.algorithm +
+                                "' does not support this feedback model");
+  }
+
+  const Allocation init = make_initial_allocation(
+      options.initial, options.n_ants, impl_->demands.num_tasks(),
+      options.seed);
+  impl_->kernel->reset(init, options.seed);
+  impl_->loads.assign(init.loads().begin(), init.loads().end());
+  impl_->make_recorder();
+}
+
+Colony::~Colony() = default;
+Colony::Colony(Colony&&) noexcept = default;
+Colony& Colony::operator=(Colony&&) noexcept = default;
+
+void Colony::step() {
+  ++impl_->round;
+  const auto out =
+      impl_->kernel->step(impl_->round, impl_->demands, *impl_->model);
+  impl_->loads.assign(out.loads.begin(), out.loads.end());
+  impl_->recorder->add_switches(out.switches);
+  impl_->recorder->record_round(impl_->round, out.loads, impl_->demands);
+  impl_->regret_total += static_cast<double>(instantaneous_regret());
+}
+
+void Colony::run(Round rounds) {
+  for (Round i = 0; i < rounds; ++i) step();
+}
+
+void Colony::set_demands(DemandVector demands) {
+  if (demands.num_tasks() != impl_->demands.num_tasks()) {
+    throw std::invalid_argument("Colony::set_demands: task count must match");
+  }
+  impl_->demands = std::move(demands);
+}
+
+Round Colony::round() const { return impl_->round; }
+
+std::span<const Count> Colony::loads() const { return impl_->loads; }
+
+Count Colony::deficit(TaskId j) const {
+  return impl_->demands[j] - impl_->loads[static_cast<std::size_t>(j)];
+}
+
+Count Colony::instantaneous_regret() const {
+  Count r = 0;
+  for (TaskId j = 0; j < impl_->demands.num_tasks(); ++j) {
+    const Count delta = deficit(j);
+    r += delta < 0 ? -delta : delta;
+  }
+  return r;
+}
+
+double Colony::average_regret() const {
+  return impl_->round > 0
+             ? impl_->regret_total / static_cast<double>(impl_->round)
+             : 0.0;
+}
+
+const DemandVector& Colony::demands() const { return impl_->demands; }
+
+double Colony::gamma() const { return impl_->gamma; }
+
+SimResult Colony::harvest() {
+  SimResult result = impl_->recorder->finish(impl_->loads);
+  impl_->make_recorder();
+  return result;
+}
+
+}  // namespace antalloc

@@ -1,0 +1,77 @@
+// Colony: the high-level façade most downstream users want — bundle a noise
+// model, an algorithm and a demand schedule, then step or run and inspect
+// state. Wraps the aggregate engine (exact and fast); drop to
+// agent/agent_sim.h for per-ant control or non-i.i.d. noise.
+//
+//   Colony colony(ColonyOptions{
+//       .n_ants = 100'000,
+//       .demands = DemandVector({50'000, 20'000}),
+//       .lambda = 0.01});
+//   colony.run(10'000);
+//   colony.loads();            // current W(j)
+//   colony.average_regret();   // R(t)/t so far
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "algo/registry.h"
+#include "core/allocation.h"
+#include "core/demand.h"
+#include "metrics/regret.h"
+#include "noise/feedback_model.h"
+
+namespace antalloc {
+
+struct ColonyOptions {
+  Count n_ants = 1 << 16;
+  DemandVector demands = uniform_demands(2, 1 << 12);
+
+  // Algorithm; gamma <= 0 means "pick 1.5x the practical critical value".
+  std::string algorithm = "ant";
+  double gamma = 0.0;
+  double epsilon = 0.5;  // precise variants
+
+  // Noise: sigmoid steepness (used when `model` is not supplied).
+  double lambda = 0.01;
+  // Optional custom model; must be i.i.d.-across-ants.
+  std::shared_ptr<FeedbackModel> model{};
+
+  std::uint64_t seed = 1;
+  std::string initial = "idle";
+  Round trace_stride = 0;
+};
+
+class Colony {
+ public:
+  explicit Colony(ColonyOptions options);
+  ~Colony();
+  Colony(Colony&&) noexcept;
+  Colony& operator=(Colony&&) noexcept;
+
+  // Advances one synchronous round (or `rounds` of them).
+  void step();
+  void run(Round rounds);
+
+  // Replaces the demand vector from the next round on (self-stabilization
+  // reacts automatically). The number of tasks must not change.
+  void set_demands(DemandVector demands);
+
+  Round round() const;
+  std::span<const Count> loads() const;
+  Count deficit(TaskId j) const;
+  Count instantaneous_regret() const;
+  double average_regret() const;  // R(t)/t so far
+  const DemandVector& demands() const;
+  double gamma() const;
+
+  // Summary of everything recorded so far (consumes the recorder; the
+  // colony keeps running with a fresh one).
+  SimResult harvest();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace antalloc

@@ -1,0 +1,44 @@
+#include "core/critical_value.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace antalloc {
+
+double sigmoid_grey_halfwidth(double lambda, Count demand, double delta) {
+  if (!(delta > 0.0) || delta > 0.5) {
+    throw std::invalid_argument("sigmoid_grey_halfwidth: delta in (0, 1/2]");
+  }
+  if (lambda <= 0.0 || demand <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Solve s(-x * d) = delta  =>  x = ln(1/delta - 1) / (lambda * d).
+  return std::log(1.0 / delta - 1.0) / (lambda * static_cast<double>(demand));
+}
+
+double critical_value_sigmoid(double lambda, const DemandVector& demands,
+                              Count n_ants) {
+  const double n = static_cast<double>(n_ants);
+  // delta = n^{-8}; ln(1/delta - 1) ~= 8 ln n for any practical n.
+  const double delta = std::pow(n, -8.0);
+  if (!(delta > 0.0)) {
+    // n so large that n^-8 underflows: use the asymptotic form directly.
+    const double x = 8.0 * std::log(n) /
+                     (lambda * static_cast<double>(demands.min_demand()));
+    return x;
+  }
+  return sigmoid_grey_halfwidth(lambda, demands.min_demand(), delta);
+}
+
+double critical_value_at(double lambda, const DemandVector& demands,
+                         double delta) {
+  return sigmoid_grey_halfwidth(lambda, demands.min_demand(), delta);
+}
+
+bool in_grey_zone(double deficit, Count demand, double gamma_star) {
+  const double half = gamma_star * static_cast<double>(demand);
+  return deficit >= -half && deficit <= half;
+}
+
+}  // namespace antalloc

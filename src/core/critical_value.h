@@ -1,0 +1,34 @@
+// Critical feedback value γ* (Definition 2.3) and the grey zone.
+//
+// Sigmoid model: γ* = y(1/n^8) is the smallest x' such that
+// s(−x'·d(j)) ≤ 1/n^8 for every task, i.e. the deficit fraction beyond which
+// every ant receives the correct signal with probability ≥ 1 − 1/n^8. With
+// s(x) = 1/(1+e^{−λx}) this solves to γ* = ln(n^8 − 1) / (λ · d_min).
+//
+// Adversarial model: γ* = γ^{ad}, the adversary's grey-zone half-width.
+#pragma once
+
+#include "core/demand.h"
+#include "core/types.h"
+
+namespace antalloc {
+
+// Inverse sigmoid threshold: smallest x' with s(−x'·d) ≤ delta, for a single
+// demand d, i.e. ln(1/delta − 1) / (lambda · d). Requires delta in (0, 1/2].
+double sigmoid_grey_halfwidth(double lambda, Count demand, double delta);
+
+// Definition 2.3 verbatim: delta = n^{-8}, binding task is the one with the
+// smallest demand. Returns +inf if lambda or demands are degenerate.
+double critical_value_sigmoid(double lambda, const DemandVector& demands,
+                              Count n_ants);
+
+// Practical variant used by benches: same formula at a caller-chosen error
+// floor delta (e.g. 1e-6), since n^{-8} forces γ* > 1/2 for laptop-scale n.
+double critical_value_at(double lambda, const DemandVector& demands,
+                         double delta);
+
+// The grey zone of task j is [-gamma_star*d(j), +gamma_star*d(j)]; true when
+// the given deficit lies inside it.
+bool in_grey_zone(double deficit, Count demand, double gamma_star);
+
+}  // namespace antalloc

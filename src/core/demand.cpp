@@ -1,0 +1,84 @@
+#include "core/demand.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace antalloc {
+
+DemandVector::DemandVector(std::vector<Count> demands) : d_(std::move(demands)) {
+  if (d_.empty()) throw std::invalid_argument("DemandVector: empty");
+  for (const Count d : d_) {
+    if (d < 0) throw std::invalid_argument("DemandVector: negative demand");
+  }
+  total_ = std::accumulate(d_.begin(), d_.end(), Count{0});
+  const auto [lo, hi] = std::minmax_element(d_.begin(), d_.end());
+  min_ = *lo;
+  max_ = *hi;
+}
+
+bool DemandVector::satisfies_assumptions(Count n_ants,
+                                         double min_log_factor) const {
+  if (n_ants <= 1) return false;
+  const double log_n = std::log2(static_cast<double>(n_ants));
+  if (static_cast<double>(min_) < min_log_factor * log_n) return false;
+  return 2 * total_ <= n_ants;
+}
+
+DemandVector uniform_demands(std::int32_t k, Count demand) {
+  return DemandVector(std::vector<Count>(static_cast<std::size_t>(k), demand));
+}
+
+DemandVector random_demands(std::int32_t k, Count lo, Count hi,
+                            std::uint64_t seed) {
+  if (lo > hi) throw std::invalid_argument("random_demands: lo > hi");
+  rng::Xoshiro256 gen(seed);
+  std::vector<Count> d(static_cast<std::size_t>(k));
+  for (auto& v : d) {
+    v = lo + static_cast<Count>(
+                 gen.uniform_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+  return DemandVector(std::move(d));
+}
+
+DemandVector geometric_demands(std::int32_t k, Count base, double ratio) {
+  std::vector<Count> d(static_cast<std::size_t>(k));
+  double value = static_cast<double>(base);
+  for (auto& v : d) {
+    v = std::max<Count>(1, static_cast<Count>(std::llround(value)));
+    value *= ratio;
+  }
+  return DemandVector(std::move(d));
+}
+
+DemandSchedule::DemandSchedule(DemandVector demands) {
+  segments_.push_back({0, std::move(demands)});
+}
+
+void DemandSchedule::add_change(Round start, DemandVector demands) {
+  if (start <= segments_.back().start) {
+    throw std::invalid_argument("DemandSchedule: change points must increase");
+  }
+  if (demands.num_tasks() != num_tasks()) {
+    throw std::invalid_argument("DemandSchedule: task count must not change");
+  }
+  segments_.push_back({start, std::move(demands)});
+}
+
+const DemandVector& DemandSchedule::demands_at(Round t) const {
+  // Segments are few (hand-written scenarios); linear scan from the back.
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    if (it->start <= t) return it->demands;
+  }
+  return segments_.front().demands;
+}
+
+Count DemandSchedule::max_total() const {
+  Count best = 0;
+  for (const auto& seg : segments_) best = std::max(best, seg.demands.total());
+  return best;
+}
+
+}  // namespace antalloc

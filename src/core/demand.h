@@ -1,0 +1,83 @@
+// Demand vectors and time-varying demand schedules.
+//
+// The paper assumes fixed demands but notes (§2.1, Remark 3.4) that all
+// results extend to changing demands thanks to self-stabilization; the
+// schedule type drives those experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "rng/xoshiro.h"
+
+namespace antalloc {
+
+// A fixed demand vector d(1..k). Immutable after construction.
+class DemandVector {
+ public:
+  DemandVector() = default;
+  explicit DemandVector(std::vector<Count> demands);
+
+  std::int32_t num_tasks() const { return static_cast<std::int32_t>(d_.size()); }
+  Count operator[](TaskId j) const { return d_[static_cast<std::size_t>(j)]; }
+  Count total() const { return total_; }
+  Count min_demand() const { return min_; }
+  Count max_demand() const { return max_; }
+  std::span<const Count> values() const { return d_; }
+
+  // Checks Assumptions 2.1: d(j) >= min_log_factor * log2(n) and
+  // sum d <= n/2. Returns false (does not throw) so callers can warn.
+  bool satisfies_assumptions(Count n_ants, double min_log_factor = 1.0) const;
+
+ private:
+  std::vector<Count> d_;
+  Count total_ = 0;
+  Count min_ = 0;
+  Count max_ = 0;
+};
+
+// k equal demands of size `demand`.
+DemandVector uniform_demands(std::int32_t k, Count demand);
+
+// k demands drawn uniformly from [lo, hi] (inclusive), reproducible by seed.
+DemandVector random_demands(std::int32_t k, Count lo, Count hi,
+                            std::uint64_t seed);
+
+// Geometric ladder d(j) = base * ratio^j, rounded; exercises heterogeneous
+// demands where grey zones differ per task.
+DemandVector geometric_demands(std::int32_t k, Count base, double ratio);
+
+// Piecewise-constant demand schedule: demands_at(t) returns the vector in
+// force during round t. Used for demand-shock / self-stabilization runs.
+class DemandSchedule {
+ public:
+  // A constant schedule.
+  explicit DemandSchedule(DemandVector demands);
+
+  // Adds a change point: from round `start` (inclusive) onward the demands
+  // are `demands`. Change points must be added in increasing round order and
+  // must preserve the number of tasks.
+  void add_change(Round start, DemandVector demands);
+
+  const DemandVector& demands_at(Round t) const;
+
+  std::int32_t num_tasks() const { return segments_.front().demands.num_tasks(); }
+  bool is_constant() const { return segments_.size() == 1; }
+
+  // Largest total demand over all segments (for capacity checks).
+  Count max_total() const;
+
+  // Round of the last change point (0 for a constant schedule).
+  Round last_change() const { return segments_.back().start; }
+
+ private:
+  struct Segment {
+    Round start;
+    DemandVector demands;
+  };
+  std::vector<Segment> segments_;
+};
+
+}  // namespace antalloc

@@ -1,0 +1,39 @@
+// Fundamental vocabulary types shared by every module.
+//
+// Model recap (paper §2): n ants, k tasks with demands d(j). Time proceeds in
+// synchronous rounds; W(j)_t is the number of ants performing task j during
+// round t, the deficit is Δ(j)_t = d(j) − W(j)_t, and each ant receives per
+// task a binary signal in {lack, overload} whose distribution depends on the
+// deficit through a noise model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace antalloc {
+
+// Task index in [0, k). kIdle denotes "not working on any task".
+using TaskId = std::int32_t;
+inline constexpr TaskId kIdle = -1;
+
+// Number of ants (loads, demands, counts). Signed so deficits subtract
+// without surprises.
+using Count = std::int64_t;
+
+// Round index; round t covers the time interval (t-1, t].
+using Round = std::int64_t;
+
+// Binary feedback an ant receives for one task in one round.
+enum class Feedback : std::uint8_t {
+  kLack = 0,      // "not enough ants are working on this task"
+  kOverload = 1,  // "too many ants are working on this task"
+};
+
+inline const char* to_string(Feedback f) {
+  return f == Feedback::kLack ? "lack" : "overload";
+}
+
+// Upper bound on k for engines that pack per-ant feedback into 64-bit masks.
+inline constexpr std::int32_t kMaxAgentTasks = 64;
+
+}  // namespace antalloc

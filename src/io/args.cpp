@@ -1,0 +1,83 @@
+#include "io/args.h"
+
+#include <stdexcept>
+
+namespace antalloc {
+namespace {
+
+bool parse_bool(const std::string& s) {
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  throw std::invalid_argument("Args: bad boolean '" + s + "'");
+}
+
+}  // namespace
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Args: expected --flag, got '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag = boolean true
+    }
+  }
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    consumed_[name] = false;
+  }
+}
+
+const std::string* Args::find(const std::string& name) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return nullptr;
+  consumed_[name] = true;
+  return &it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t def) {
+  declared_.push_back(name + "=" + std::to_string(def));
+  const auto* v = find(name);
+  return v != nullptr ? std::stoll(*v) : def;
+}
+
+double Args::get_double(const std::string& name, double def) {
+  declared_.push_back(name + "=" + std::to_string(def));
+  const auto* v = find(name);
+  return v != nullptr ? std::stod(*v) : def;
+}
+
+std::string Args::get_string(const std::string& name, const std::string& def) {
+  declared_.push_back(name + "=" + def);
+  const auto* v = find(name);
+  return v != nullptr ? *v : def;
+}
+
+bool Args::get_bool(const std::string& name, bool def) {
+  declared_.push_back(name + "=" + (def ? "true" : "false"));
+  const auto* v = find(name);
+  return v != nullptr ? parse_bool(*v) : def;
+}
+
+void Args::check_unknown() const {
+  for (const auto& [name, used] : consumed_) {
+    if (!used) {
+      throw std::invalid_argument("Args: unknown flag --" + name);
+    }
+  }
+}
+
+std::string Args::help() const {
+  std::string out = "flags:";
+  for (const auto& d : declared_) out += " --" + d;
+  return out;
+}
+
+}  // namespace antalloc

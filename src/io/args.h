@@ -1,0 +1,38 @@
+// Minimal command-line flag parser for bench and example binaries.
+// Supports --name=value and --name value; unknown flags are an error so
+// typos do not silently run the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace antalloc {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  // Declares a flag with a default; returns the parsed value. Declaring is
+  // also what marks the flag as known.
+  std::int64_t get_int(const std::string& name, std::int64_t def);
+  double get_double(const std::string& name, double def);
+  std::string get_string(const std::string& name, const std::string& def);
+  bool get_bool(const std::string& name, bool def);
+
+  // Call after all get_* declarations: throws on unknown flags.
+  void check_unknown() const;
+
+  // One-line usage summary of all declared flags with their defaults.
+  std::string help() const;
+
+ private:
+  const std::string* find(const std::string& name);
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> declared_;  // "name=default" for help()
+};
+
+}  // namespace antalloc

@@ -1,0 +1,48 @@
+#include "io/csv.h"
+
+#include <stdexcept>
+
+namespace antalloc {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::span<const std::string> columns)
+    : path_(path), out_(path), columns_(columns.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c != 0) out_ << ',';
+    out_ << columns[c];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::span<const double> values) {
+  if (values.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    if (c != 0) out_ << ',';
+    out_ << values[c];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::span<const std::string> cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c != 0) out_ << ',';
+    out_ << cells[c];
+  }
+  out_ << '\n';
+}
+
+std::string write_csv(const std::string& path,
+                      std::span<const std::string> columns,
+                      std::span<const std::vector<double>> rows) {
+  CsvWriter writer(path, columns);
+  for (const auto& row : rows) writer.write_row(row);
+  return path;
+}
+
+}  // namespace antalloc

@@ -1,0 +1,33 @@
+// Tiny CSV file writer (used by benches to dump raw series next to the
+// printed tables).
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace antalloc {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path` and writes the header row. Throws on failure.
+  CsvWriter(const std::string& path, std::span<const std::string> columns);
+
+  void write_row(std::span<const double> values);
+  void write_row(std::span<const std::string> cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+// Writes a whole table-shaped CSV in one call; returns the path.
+std::string write_csv(const std::string& path,
+                      std::span<const std::string> columns,
+                      std::span<const std::vector<double>> rows);
+
+}  // namespace antalloc

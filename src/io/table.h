@@ -1,0 +1,34 @@
+// Aligned plain-text / markdown table writer for bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace antalloc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row cells are free-form strings; helpers format numbers consistently.
+  void add_row(std::vector<std::string> cells);
+
+  static std::string fmt(double value, int precision = 4);
+  static std::string fmt(std::int64_t value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Renders with aligned columns (plain) or as GitHub-flavored markdown.
+  std::string render() const;
+  std::string render_markdown() const;
+
+  // CSV view of the same data (headers + rows).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace antalloc

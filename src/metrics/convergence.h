@@ -1,0 +1,32 @@
+// Convergence-time measurement: when does a run first enter — and last
+// leave — the Theorem 3.1 deficit band? [Cornejo et al. DISC'14] analyze
+// task allocation through convergence time; these helpers connect our regret
+// view to theirs and power bench E16.
+#pragma once
+
+#include "core/demand.h"
+#include "metrics/trace.h"
+
+namespace antalloc {
+
+struct ConvergenceStats {
+  // First recorded round at which every task's |deficit| <= 5γ·d(j)+3.
+  // -1 if never.
+  Round first_in_band = -1;
+  // Last recorded round at which some task violated the band; 0 if never.
+  Round last_violation = 0;
+  // Fraction of recorded rounds (after first_in_band) spent inside the band.
+  double occupancy_after_entry = 0.0;
+  bool converged() const { return first_in_band >= 0; }
+};
+
+// Scans a trace against a (possibly time-varying) demand schedule.
+ConvergenceStats measure_convergence(const Trace& trace,
+                                     const DemandSchedule& schedule,
+                                     double gamma);
+
+ConvergenceStats measure_convergence(const Trace& trace,
+                                     const DemandVector& demands,
+                                     double gamma);
+
+}  // namespace antalloc

@@ -1,0 +1,40 @@
+#include "metrics/oscillation.h"
+
+#include <cstdlib>
+#include <vector>
+
+namespace antalloc {
+
+OscillationStats analyze_series(std::span<const Count> deficits) {
+  OscillationStats stats;
+  stats.samples = static_cast<std::int64_t>(deficits.size());
+  if (deficits.empty()) return stats;
+
+  double abs_sum = 0.0;
+  double sum = 0.0;
+  int prev_sign = 0;
+  for (const Count delta : deficits) {
+    const Count a = std::abs(delta);
+    if (a > stats.max_abs_deficit) stats.max_abs_deficit = a;
+    abs_sum += static_cast<double>(a);
+    sum += static_cast<double>(delta);
+    const int sign = delta > 0 ? 1 : (delta < 0 ? -1 : 0);
+    if (sign != 0) {
+      if (prev_sign != 0 && sign != prev_sign) ++stats.zero_crossings;
+      prev_sign = sign;
+    }
+  }
+  stats.mean_abs_deficit = abs_sum / static_cast<double>(deficits.size());
+  stats.mean_deficit = sum / static_cast<double>(deficits.size());
+  return stats;
+}
+
+OscillationStats analyze_trace_task(const Trace& trace, TaskId j,
+                                    std::size_t skip) {
+  std::vector<Count> series = trace.task_series(j);
+  if (skip >= series.size()) return OscillationStats{};
+  return analyze_series(
+      std::span<const Count>(series.data() + skip, series.size() - skip));
+}
+
+}  // namespace antalloc

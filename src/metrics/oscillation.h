@@ -1,0 +1,41 @@
+// Oscillation statistics over a recorded deficit series.
+//
+// Theorem 3.3 predicts that constant-memory algorithms must oscillate once
+// deficits are small, and Appendix D.2 predicts Θ(n)-amplitude full-colony
+// oscillations for the trivial synchronous algorithm. These statistics make
+// both claims measurable: sign changes per recorded step, peak amplitude,
+// and the mean absolute deficit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/types.h"
+#include "metrics/trace.h"
+
+namespace antalloc {
+
+struct OscillationStats {
+  std::int64_t samples = 0;
+  std::int64_t zero_crossings = 0;  // strict sign changes of the deficit
+  Count max_abs_deficit = 0;
+  double mean_abs_deficit = 0.0;
+  double mean_deficit = 0.0;
+
+  // Crossings per recorded sample; ~0 for a converged run, Θ(1) for a
+  // full-colony oscillation.
+  double crossing_rate() const {
+    return samples > 1 ? static_cast<double>(zero_crossings) /
+                             static_cast<double>(samples - 1)
+                       : 0.0;
+  }
+};
+
+OscillationStats analyze_series(std::span<const Count> deficits);
+
+// Convenience: analyze task j of a trace, skipping the first `skip` samples
+// (warmup).
+OscillationStats analyze_trace_task(const Trace& trace, TaskId j,
+                                    std::size_t skip = 0);
+
+}  // namespace antalloc

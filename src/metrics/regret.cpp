@@ -1,0 +1,62 @@
+#include "metrics/regret.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace antalloc {
+
+MetricsRecorder::MetricsRecorder(std::int32_t num_tasks, Count n_ants,
+                                 Options opts)
+    : opts_(opts), deficit_buf_(static_cast<std::size_t>(num_tasks), 0) {
+  result_.n_ants = n_ants;
+  result_.trace = Trace(num_tasks, opts.trace_stride);
+}
+
+void MetricsRecorder::record_round(Round t, std::span<const Count> loads,
+                                   const DemandVector& demands) {
+  const double g = opts_.gamma;
+  const double cp = opts_.bands.c_plus();
+  const double cm = opts_.bands.c_minus();
+
+  Count r = 0;
+  double r_plus = 0.0;
+  double r_minus = 0.0;
+  bool violated = false;
+
+  for (std::int32_t j = 0; j < demands.num_tasks(); ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const Count w = loads[ju];
+    const double d = static_cast<double>(demands[j]);
+    const Count delta = demands[j] - w;
+    deficit_buf_[ju] = delta;
+    r += std::abs(delta);
+
+    const double over = static_cast<double>(w) - (1.0 + cp * g) * d;
+    if (over > 0.0) r_plus += over;
+    const double lack = (1.0 - cm * g) * d - static_cast<double>(w);
+    if (lack > 0.0) r_minus += lack;
+
+    if (std::abs(static_cast<double>(delta)) > 5.0 * g * d + 3.0) {
+      violated = true;
+    }
+  }
+
+  result_.rounds = t;
+  result_.total_regret += static_cast<double>(r);
+  result_.regret_plus += r_plus;
+  result_.regret_minus += r_minus;
+  result_.regret_near += static_cast<double>(r) - r_plus - r_minus;
+  if (violated) ++result_.violation_rounds;
+  if (t > opts_.warmup) {
+    ++result_.post_warmup_rounds;
+    result_.post_warmup_regret += static_cast<double>(r);
+  }
+  result_.trace.record(t, deficit_buf_, r);
+}
+
+SimResult MetricsRecorder::finish(std::span<const Count> final_loads) {
+  result_.final_loads.assign(final_loads.begin(), final_loads.end());
+  return std::move(result_);
+}
+
+}  // namespace antalloc

@@ -1,0 +1,118 @@
+#include "noise/adversarial.h"
+
+#include <stdexcept>
+
+namespace antalloc {
+namespace {
+
+class HonestAdversary final : public GreyZoneAdversary {
+ public:
+  std::string_view name() const override { return "honest"; }
+  Feedback choose(Round, TaskId, double deficit, double) const override {
+    return deficit >= 0.0 ? Feedback::kLack : Feedback::kOverload;
+  }
+};
+
+class ConstantAdversary final : public GreyZoneAdversary {
+ public:
+  ConstantAdversary(Feedback f, std::string_view name) : f_(f), name_(name) {}
+  std::string_view name() const override { return name_; }
+  Feedback choose(Round, TaskId, double, double) const override { return f_; }
+
+ private:
+  Feedback f_;
+  std::string name_;
+};
+
+class AntiGradientAdversary final : public GreyZoneAdversary {
+ public:
+  std::string_view name() const override { return "anti-gradient"; }
+  Feedback choose(Round, TaskId, double deficit, double) const override {
+    // Truth is lack for positive deficit; report the opposite.
+    return deficit >= 0.0 ? Feedback::kOverload : Feedback::kLack;
+  }
+};
+
+class AlternatingAdversary final : public GreyZoneAdversary {
+ public:
+  std::string_view name() const override { return "alternating"; }
+  Feedback choose(Round t, TaskId, double, double) const override {
+    return (t % 2 == 0) ? Feedback::kLack : Feedback::kOverload;
+  }
+};
+
+class IndistinguishableAdversary final : public GreyZoneAdversary {
+ public:
+  IndistinguishableAdversary(int sign, double gamma_ad)
+      : sign_(sign), gamma_ad_(gamma_ad) {}
+  std::string_view name() const override {
+    return sign_ > 0 ? "indist(+)" : "indist(-)";
+  }
+  Feedback choose(Round, TaskId, double deficit, double demand) const override {
+    if (sign_ > 0) {
+      // World d: lack iff Δ >= -γ^{ad}·d; inside d's grey zone that is
+      // always true.
+      return Feedback::kLack;
+    }
+    // World d' = d(1+2γ^{ad}): lack iff Δ' >= τ with τ = γ^{ad}·d expressed
+    // through this world's demand: τ = γ^{ad}·d'/(1+2γ^{ad}).
+    const double tau = gamma_ad_ * demand / (1.0 + 2.0 * gamma_ad_);
+    return deficit >= tau ? Feedback::kLack : Feedback::kOverload;
+  }
+
+ private:
+  int sign_;
+  double gamma_ad_;
+};
+
+}  // namespace
+
+std::unique_ptr<GreyZoneAdversary> make_honest_adversary() {
+  return std::make_unique<HonestAdversary>();
+}
+std::unique_ptr<GreyZoneAdversary> make_always_lack_adversary() {
+  return std::make_unique<ConstantAdversary>(Feedback::kLack, "always-lack");
+}
+std::unique_ptr<GreyZoneAdversary> make_always_overload_adversary() {
+  return std::make_unique<ConstantAdversary>(Feedback::kOverload,
+                                             "always-overload");
+}
+std::unique_ptr<GreyZoneAdversary> make_anti_gradient_adversary() {
+  return std::make_unique<AntiGradientAdversary>();
+}
+std::unique_ptr<GreyZoneAdversary> make_alternating_adversary() {
+  return std::make_unique<AlternatingAdversary>();
+}
+std::unique_ptr<GreyZoneAdversary> make_indistinguishable_adversary(
+    int sign, double gamma_ad) {
+  if (sign != 1 && sign != -1) {
+    throw std::invalid_argument("indistinguishable adversary: sign in {-1,+1}");
+  }
+  if (!(gamma_ad > 0.0)) {
+    throw std::invalid_argument("indistinguishable adversary: gamma_ad > 0");
+  }
+  return std::make_unique<IndistinguishableAdversary>(sign, gamma_ad);
+}
+
+AdversarialFeedback::AdversarialFeedback(
+    double gamma_ad, std::unique_ptr<GreyZoneAdversary> adversary)
+    : gamma_ad_(gamma_ad), adversary_(std::move(adversary)) {
+  if (!(gamma_ad >= 0.0)) {
+    throw std::invalid_argument("AdversarialFeedback: gamma_ad must be >= 0");
+  }
+  if (adversary_ == nullptr) {
+    throw std::invalid_argument("AdversarialFeedback: null adversary");
+  }
+  name_ = "adversarial/" + std::string(adversary_->name());
+}
+
+double AdversarialFeedback::lack_probability(Round t, TaskId j, double deficit,
+                                             double demand) const {
+  const double half = gamma_ad_ * demand;
+  if (deficit > half) return 1.0;   // forced truthful lack
+  if (deficit < -half) return 0.0;  // forced truthful overload
+  return adversary_->choose(t, j, deficit, demand) == Feedback::kLack ? 1.0
+                                                                      : 0.0;
+}
+
+}  // namespace antalloc

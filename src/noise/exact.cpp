@@ -1,0 +1,4 @@
+#include "noise/exact.h"
+
+// Header-only model; this translation unit anchors the vtable.
+namespace antalloc {}

@@ -1,0 +1,30 @@
+#include "noise/per_task.h"
+
+#include <stdexcept>
+
+#include "noise/sigmoid.h"
+
+namespace antalloc {
+
+PerTaskSigmoidFeedback::PerTaskSigmoidFeedback(std::vector<double> lambdas)
+    : lambdas_(std::move(lambdas)) {
+  if (lambdas_.empty()) {
+    throw std::invalid_argument("PerTaskSigmoidFeedback: no lambdas");
+  }
+  for (const double l : lambdas_) {
+    if (!(l > 0.0)) {
+      throw std::invalid_argument("PerTaskSigmoidFeedback: lambda must be > 0");
+    }
+  }
+}
+
+double PerTaskSigmoidFeedback::lack_probability(Round /*t*/, TaskId j,
+                                                double deficit,
+                                                double /*demand*/) const {
+  if (static_cast<std::size_t>(j) >= lambdas_.size()) {
+    throw std::out_of_range("PerTaskSigmoidFeedback: task id out of range");
+  }
+  return sigmoid(lambdas_[static_cast<std::size_t>(j)], deficit);
+}
+
+}  // namespace antalloc

@@ -1,0 +1,30 @@
+#include "noise/sigmoid.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace antalloc {
+
+double sigmoid(double lambda, double x) {
+  // Numerically-stable logistic: never exponentiates a positive argument.
+  const double z = lambda * x;
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+SigmoidFeedback::SigmoidFeedback(double lambda) : lambda_(lambda) {
+  if (!(lambda > 0.0)) {
+    throw std::invalid_argument("SigmoidFeedback: lambda must be > 0");
+  }
+}
+
+double SigmoidFeedback::lack_probability(Round /*t*/, TaskId /*j*/,
+                                         double deficit,
+                                         double /*demand*/) const {
+  return sigmoid(lambda_, deficit);
+}
+
+}  // namespace antalloc

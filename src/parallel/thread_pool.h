@@ -1,0 +1,59 @@
+// Minimal work-queue thread pool plus a blocking parallel_for.
+//
+// Design notes (HPC guides): all parallelism is explicit; tasks must not
+// touch shared mutable state except through their own index range; results
+// are written to pre-sized slots so no synchronization is needed on the data
+// path, and reproducibility is guaranteed by seeding RNG streams from the
+// trial index rather than from the executing thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace antalloc {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; tasks must not throw (they are executed on worker
+  // threads with no propagation channel — wrap and capture if needed).
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+// Runs body(i) for i in [begin, end) across the pool, blocking until done.
+// Exceptions thrown by `body` are captured and the first one is rethrown on
+// the calling thread after all iterations finish.
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body);
+
+// Shared process-wide pool (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace antalloc

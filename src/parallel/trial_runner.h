@@ -1,0 +1,32 @@
+// Replicated-trial runner: executes independent simulation trials across the
+// global thread pool with per-trial derived seeds, so a sweep's results are
+// identical no matter how many threads run it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "metrics/regret.h"
+#include "stats/summary.h"
+
+namespace antalloc {
+
+// Runs `replicates` trials of `trial(index, seed_for_index)` in parallel and
+// returns the values in index order. The per-trial seed is
+// hash(base_seed, index), independent of scheduling.
+std::vector<double> run_trials(
+    std::int64_t replicates, std::uint64_t base_seed,
+    const std::function<double(std::int64_t, std::uint64_t)>& trial);
+
+// Same, collecting full simulation summaries.
+std::vector<SimResult> run_sim_trials(
+    std::int64_t replicates, std::uint64_t base_seed,
+    const std::function<SimResult(std::int64_t, std::uint64_t)>& trial);
+
+// Convenience: run trials and summarize a scalar extracted from each result.
+RunningStats run_and_summarize(
+    std::int64_t replicates, std::uint64_t base_seed,
+    const std::function<double(std::int64_t, std::uint64_t)>& trial);
+
+}  // namespace antalloc

@@ -1,0 +1,61 @@
+#include "rng/binomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace antalloc::rng {
+namespace {
+
+// Exact inversion: walks the CDF from 0. O(np) expected steps, so only used
+// when the folded mean n*min(p,1-p) is small.
+std::int64_t binomial_inversion(Xoshiro256& gen, std::int64_t n, double p) {
+  const double q = 1.0 - p;
+  // P(X = 0) = q^n, computed in log space to survive large n.
+  const double log_q = std::log(q);
+  double u = gen.uniform();
+  std::int64_t x = 0;
+  double pmf = std::exp(static_cast<double>(n) * log_q);
+  double cdf = pmf;
+  // Recurrence: pmf(x+1) = pmf(x) * (n-x)/(x+1) * p/q.
+  while (u > cdf && x < n) {
+    pmf *= (static_cast<double>(n - x) / static_cast<double>(x + 1)) * (p / q);
+    ++x;
+    cdf += pmf;
+    if (pmf < 1e-320) break;  // underflow guard: tail mass is negligible
+  }
+  return x;
+}
+
+}  // namespace
+
+std::int64_t binomial(Xoshiro256& gen, std::int64_t n, double p) {
+  if (n <= 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  if (p == 0.0) return 0;
+  if (p == 1.0) return n;
+
+  // Tiny n: summing Bernoulli bits beats any setup cost.
+  if (n <= 16) {
+    std::int64_t sum = 0;
+    for (std::int64_t i = 0; i < n; ++i) sum += gen.bernoulli(p) ? 1 : 0;
+    return sum;
+  }
+
+  // Fold to p <= 1/2 so the inversion walk starts at the short side.
+  const bool folded = p > 0.5;
+  const double pf = folded ? 1.0 - p : p;
+  const double mean = static_cast<double>(n) * pf;
+
+  std::int64_t draw;
+  if (mean <= 48.0) {
+    draw = binomial_inversion(gen, n, pf);
+  } else {
+    // libstdc++ uses an exact rejection method (BTRD-style) in this regime.
+    std::binomial_distribution<std::int64_t> dist(n, pf);
+    draw = dist(gen);
+  }
+  return folded ? n - draw : draw;
+}
+
+}  // namespace antalloc::rng

@@ -1,0 +1,20 @@
+// Exact Binomial(n, p) sampling for aggregate simulation, where n is the
+// number of ants in some behavioural class (possibly millions) and p a
+// per-ant decision probability.
+//
+// Strategy: direct bit-sum for tiny n, exact CDF inversion when the mean of
+// the folded distribution is small, and delegation to the standard library's
+// exact rejection sampler otherwise. All paths are exact; the split is purely
+// for speed.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/xoshiro.h"
+
+namespace antalloc::rng {
+
+// Draws Binomial(n, p). Requires n >= 0 and p in [0, 1] (clamped).
+std::int64_t binomial(Xoshiro256& gen, std::int64_t n, double p);
+
+}  // namespace antalloc::rng

@@ -1,0 +1,29 @@
+// Exact Multinomial(n, p[0..k-1]) sampling via sequential conditional
+// binomials. Used to distribute a class of i.i.d. ants over their possible
+// decisions (join task j / stay idle / ...) in one draw.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/xoshiro.h"
+
+namespace antalloc::rng {
+
+// Draws counts c[i] with sum(c) == n and c ~ Multinomial(n, probs / S) where
+// S = sum(probs). `probs` must be non-negative; if S < 1 the remaining mass
+// is returned as the final element of the result (size probs.size() + 1),
+// representing "none of the listed outcomes".
+//
+// multinomial:      probabilities are normalized, result size == probs.size().
+// multinomial_rest: probabilities are NOT normalized (S <= 1 required up to
+//                   rounding), result size == probs.size() + 1 with the
+//                   leftover count last.
+std::vector<std::int64_t> multinomial(Xoshiro256& gen, std::int64_t n,
+                                      std::span<const double> probs);
+
+std::vector<std::int64_t> multinomial_rest(Xoshiro256& gen, std::int64_t n,
+                                           std::span<const double> probs);
+
+}  // namespace antalloc::rng

@@ -1,0 +1,54 @@
+#include "rng/poisson_binomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace antalloc::rng {
+
+std::vector<double> poisson_binomial_pmf(std::span<const double> p) {
+  std::vector<double> pmf(p.size() + 1, 0.0);
+  pmf[0] = 1.0;
+  std::size_t support = 0;  // highest index with non-zero mass so far
+  for (const double pi : p) {
+    const double q = std::clamp(pi, 0.0, 1.0);
+    ++support;
+    // In-place convolution with Bernoulli(q), descending to avoid aliasing.
+    for (std::size_t c = support; c > 0; --c) {
+      pmf[c] = pmf[c] * (1.0 - q) + pmf[c - 1] * q;
+    }
+    pmf[0] *= (1.0 - q);
+  }
+  return pmf;
+}
+
+std::vector<double> uniform_choice_marginals(std::span<const double> p) {
+  const std::size_t k = p.size();
+  std::vector<double> q(k, 0.0);
+  if (k == 0) return q;
+
+  // Full PMF once, then "deconvolve" task j out to get the leave-one-out
+  // PMF of B_j. Deconvolution can be numerically delicate when p[j] is close
+  // to 1, so we instead rebuild each leave-one-out PMF directly; O(k^2) per
+  // task is fine for the k <= 64 regime this library targets, but an O(k^2)
+  // total algorithm exists for larger k.
+  std::vector<double> loo;
+  std::vector<double> rest;
+  rest.reserve(k > 0 ? k - 1 : 0);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double pj = std::clamp(p[j], 0.0, 1.0);
+    if (pj == 0.0) continue;
+    rest.clear();
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i != j) rest.push_back(p[i]);
+    }
+    loo = poisson_binomial_pmf(rest);
+    double expectation = 0.0;  // E[ 1/(1+B_j) ]
+    for (std::size_t b = 0; b < loo.size(); ++b) {
+      expectation += loo[b] / static_cast<double>(1 + b);
+    }
+    q[j] = pj * expectation;
+  }
+  return q;
+}
+
+}  // namespace antalloc::rng

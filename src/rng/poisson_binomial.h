@@ -1,0 +1,28 @@
+// Poisson-binomial helpers for the aggregate simulator.
+//
+// An idle ant sees, per task j, an independent event "both samples said
+// lack" with probability p[j]; it then joins a task chosen uniformly at
+// random among the tasks whose event fired (Algorithm Ant, line 11). The
+// per-ant marginal join probability for task j is therefore
+//
+//   q[j] = p[j] * E[ 1 / (1 + B_j) ],   B_j = sum_{i != j} Bernoulli(p[i]),
+//
+// which we evaluate exactly with an O(k^2) dynamic program over the
+// Poisson-binomial distribution of B_j (leave-one-out). Idle ants are i.i.d.
+// given the current loads, so the join counts are Multinomial(n_idle, q).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace antalloc::rng {
+
+// PMF of the Poisson-binomial distribution: counts of successes among
+// independent Bernoulli(p[i]). Returns a vector of size p.size() + 1.
+std::vector<double> poisson_binomial_pmf(std::span<const double> p);
+
+// Exact per-task join probabilities q[j] as defined above. q.size() ==
+// p.size(); 1 - sum(q) is the probability of remaining idle.
+std::vector<double> uniform_choice_marginals(std::span<const double> p);
+
+}  // namespace antalloc::rng

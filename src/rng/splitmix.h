@@ -1,0 +1,43 @@
+// SplitMix64: tiny, fast 64-bit mixer used for seeding and counter-based
+// streams. Reference: Steele, Lea, Flood — "Fast Splittable Pseudorandom
+// Number Generators" (OOPSLA 2014); public-domain constants.
+#pragma once
+
+#include <cstdint>
+
+namespace antalloc::rng {
+
+// One SplitMix64 step: advances `state` and returns the mixed output.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Stateless mix of a single word (a strong 64-bit hash).
+constexpr std::uint64_t splitmix64_mix(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64_next(s);
+}
+
+// Combine words into a well-mixed 64-bit value. Used to derive independent
+// substreams from (seed, trial, round, purpose, ...) coordinates so results
+// are reproducible regardless of thread scheduling.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return splitmix64_mix(a ^ (0x9e3779b97f4a7c15ull + (b << 6) + (b >> 2) +
+                             splitmix64_mix(b)));
+}
+
+constexpr std::uint64_t hash_words(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t c) noexcept {
+  return hash_combine(hash_combine(a, b), c);
+}
+
+constexpr std::uint64_t hash_words(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t c, std::uint64_t d) noexcept {
+  return hash_combine(hash_words(a, b, c), d);
+}
+
+}  // namespace antalloc::rng

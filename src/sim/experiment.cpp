@@ -1,0 +1,85 @@
+#include "sim/experiment.h"
+
+#include <stdexcept>
+
+#include "agent/agent_sim.h"
+#include "aggregate/aggregate_sim.h"
+#include "core/allocation.h"
+#include "parallel/trial_runner.h"
+
+namespace antalloc {
+namespace {
+
+std::vector<Count> initial_loads(const ExperimentConfig& cfg,
+                                 std::int32_t k, std::uint64_t seed) {
+  const Allocation alloc =
+      make_initial_allocation(cfg.initial, cfg.n_ants, k, seed);
+  return {alloc.loads().begin(), alloc.loads().end()};
+}
+
+}  // namespace
+
+SimResult run_experiment(const ExperimentConfig& cfg, FeedbackModel& fm,
+                         const DemandSchedule& schedule) {
+  const std::int32_t k = schedule.num_tasks();
+  const auto loads = initial_loads(cfg, k, cfg.seed);
+
+  // Keep the regret-band gamma in sync with the algorithm's learning rate
+  // unless the caller overrode it explicitly.
+  MetricsRecorder::Options metrics = cfg.metrics;
+  if (metrics.gamma <= 0.0) metrics.gamma = cfg.algo.gamma;
+
+  if (cfg.engine == "aggregate") {
+    auto kernel = make_aggregate_kernel(cfg.algo);
+    AggregateSimConfig sim{.n_ants = cfg.n_ants,
+                           .rounds = cfg.rounds,
+                           .seed = cfg.seed,
+                           .metrics = metrics,
+                           .initial_loads = loads};
+    return run_aggregate_sim(*kernel, fm, schedule, sim);
+  }
+  if (cfg.engine == "agent") {
+    auto algo = make_agent_algorithm(cfg.algo);
+    AgentSimConfig sim{.n_ants = cfg.n_ants,
+                       .rounds = cfg.rounds,
+                       .seed = cfg.seed,
+                       .metrics = metrics,
+                       .initial_loads = loads};
+    return run_agent_sim(*algo, fm, schedule, sim);
+  }
+  throw std::invalid_argument("run_experiment: engine must be 'aggregate' or 'agent'");
+}
+
+std::vector<SimResult> run_replicated_experiment(const ExperimentConfig& cfg,
+                                                 const ModelFactory& make_model,
+                                                 const DemandSchedule& schedule,
+                                                 std::int64_t replicates) {
+  return run_sim_trials(
+      replicates, cfg.seed,
+      [&](std::int64_t /*trial*/, std::uint64_t seed) {
+        ExperimentConfig trial_cfg = cfg;
+        trial_cfg.seed = seed;
+        auto model = make_model();
+        return run_experiment(trial_cfg, *model, schedule);
+      });
+}
+
+std::vector<double> extract_post_warmup_average(
+    const std::vector<SimResult>& results) {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const auto& r : results) out.push_back(r.post_warmup_average());
+  return out;
+}
+
+std::vector<double> extract_closeness(const std::vector<SimResult>& results,
+                                      double gamma_star, Count total_demand) {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const auto& r : results) {
+    out.push_back(r.closeness(gamma_star, total_demand));
+  }
+  return out;
+}
+
+}  // namespace antalloc

@@ -1,0 +1,52 @@
+// Experiment façade: one call from an algorithm name + noise model factory +
+// demand schedule to replicated, parallel simulation results. This is the
+// API every bench and example builds on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "core/demand.h"
+#include "metrics/regret.h"
+
+namespace antalloc {
+
+// Builds a fresh noise-model instance per trial (models may be stateful).
+using ModelFactory = std::function<std::unique_ptr<FeedbackModel>()>;
+
+struct ExperimentConfig {
+  AlgoConfig algo{};
+  // "aggregate" (exact count kernel; i.i.d. noise only) or "agent"
+  // (per-ant simulation; any noise).
+  std::string engine = "aggregate";
+  Count n_ants = 1 << 14;
+  Round rounds = 10'000;
+  std::uint64_t seed = 1;
+  // Initial allocation kind: "idle", "uniform", "adversarial", "random"
+  // (see make_initial_allocation).
+  std::string initial = "idle";
+  MetricsRecorder::Options metrics{};
+};
+
+// Runs a single trial.
+SimResult run_experiment(const ExperimentConfig& cfg, FeedbackModel& fm,
+                         const DemandSchedule& schedule);
+
+// Runs `replicates` independent trials in parallel (deterministic per-trial
+// seeds derived from cfg.seed).
+std::vector<SimResult> run_replicated_experiment(const ExperimentConfig& cfg,
+                                                 const ModelFactory& make_model,
+                                                 const DemandSchedule& schedule,
+                                                 std::int64_t replicates);
+
+// Common scalar extractions over replicate sets.
+std::vector<double> extract_post_warmup_average(
+    const std::vector<SimResult>& results);
+std::vector<double> extract_closeness(const std::vector<SimResult>& results,
+                                      double gamma_star, Count total_demand);
+
+}  // namespace antalloc

@@ -1,0 +1,88 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace antalloc {
+namespace {
+
+DemandVector scaled(const DemandVector& base, double factor) {
+  std::vector<Count> d(base.values().begin(), base.values().end());
+  for (auto& v : d) {
+    v = std::max<Count>(1, static_cast<Count>(std::llround(
+                               static_cast<double>(v) * factor)));
+  }
+  return DemandVector(std::move(d));
+}
+
+}  // namespace
+
+DemandSchedule day_night_schedule(const DemandVector& day,
+                                  const DemandVector& night, Round period,
+                                  Round horizon) {
+  if (period <= 0) throw std::invalid_argument("day_night: period > 0");
+  DemandSchedule schedule(day);
+  bool is_day = true;
+  for (Round t = period; t < horizon; t += period) {
+    is_day = !is_day;
+    schedule.add_change(t, is_day ? day : night);
+  }
+  return schedule;
+}
+
+DemandSchedule single_shock_schedule(const DemandVector& base,
+                                     Round shock_round, double factor) {
+  DemandSchedule schedule(base);
+  std::vector<Count> d(base.values().begin(), base.values().end());
+  d[0] = std::max<Count>(1, static_cast<Count>(std::llround(
+                                static_cast<double>(d[0]) * factor)));
+  schedule.add_change(shock_round, DemandVector(std::move(d)));
+  return schedule;
+}
+
+DemandSchedule staircase_schedule(const DemandVector& base, Round period,
+                                  double step_factor, int steps) {
+  DemandSchedule schedule(base);
+  double factor = 1.0;
+  for (int s = 1; s <= steps; ++s) {
+    factor *= step_factor;
+    schedule.add_change(period * s, scaled(base, factor));
+  }
+  return schedule;
+}
+
+DemandSchedule mass_death_schedule(const DemandVector& base, Round shock_round,
+                                   double dead_fraction) {
+  if (!(dead_fraction >= 0.0 && dead_fraction < 1.0)) {
+    throw std::invalid_argument("mass_death: dead_fraction in [0, 1)");
+  }
+  DemandSchedule schedule(base);
+  schedule.add_change(shock_round, scaled(base, 1.0 / (1.0 - dead_fraction)));
+  return schedule;
+}
+
+std::vector<Scenario> standard_scenarios(const DemandVector& base,
+                                         Round horizon) {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(
+      {"cold-start(idle)", DemandSchedule(base), "idle"});
+  scenarios.push_back(
+      {"hostile-start(all-on-task0)", DemandSchedule(base), "adversarial"});
+  scenarios.push_back(
+      {"random-start", DemandSchedule(base), "random"});
+  scenarios.push_back({"demand-spike(x2@mid)",
+                       single_shock_schedule(base, horizon / 2, 2.0),
+                       "uniform"});
+  scenarios.push_back({"demand-drop(x0.5@mid)",
+                       single_shock_schedule(base, horizon / 2, 0.5),
+                       "uniform"});
+  scenarios.push_back({"mass-death(30%@mid)",
+                       mass_death_schedule(base, horizon / 2, 0.3), "uniform"});
+  scenarios.push_back({"day-night(flip@quarter)",
+                       day_night_schedule(base, scaled(base, 0.6), horizon / 4,
+                                          horizon),
+                       "uniform"});
+  return scenarios;
+}
+
+}  // namespace antalloc

@@ -1,0 +1,46 @@
+// Pre-built self-stabilization scenarios (demand schedules + hostile
+// starting allocations). The paper's algorithms are self-stabilizing, so
+// after any shock the deficits must re-enter the 5γ·d band; these scenarios
+// drive bench E6 and the dynamic examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/demand.h"
+
+namespace antalloc {
+
+// Day/night alternation: demands flip between `day` and `night` every
+// `period` rounds (phase-aligned shocks; `day` first).
+DemandSchedule day_night_schedule(const DemandVector& day,
+                                  const DemandVector& night, Round period,
+                                  Round horizon);
+
+// Single shock: `base` until round `shock_round`, then task 0's demand is
+// multiplied by `factor` (others unchanged).
+DemandSchedule single_shock_schedule(const DemandVector& base,
+                                     Round shock_round, double factor);
+
+// Staircase: every `period` rounds the demands of all tasks are scaled by
+// `step_factor` (compounding), for `steps` steps.
+DemandSchedule staircase_schedule(const DemandVector& base, Round period,
+                                  double step_factor, int steps);
+
+// Mass-death emulation: a fraction `dead` of the colony dying is equivalent,
+// for the allocation dynamics, to all demands growing by 1/(1-dead). This
+// returns the equivalent demand schedule with the shock at `shock_round`.
+DemandSchedule mass_death_schedule(const DemandVector& base, Round shock_round,
+                                   double dead_fraction);
+
+struct Scenario {
+  std::string name;
+  DemandSchedule schedule;
+  std::string initial;  // initial-allocation kind
+};
+
+// The standard scenario suite used by bench E6.
+std::vector<Scenario> standard_scenarios(const DemandVector& base,
+                                         Round horizon);
+
+}  // namespace antalloc

@@ -1,0 +1,92 @@
+#include "sim/sweep.h"
+
+#include <stdexcept>
+
+#include "parallel/thread_pool.h"
+#include "rng/splitmix.h"
+
+namespace antalloc {
+
+std::vector<SweepPoint> cartesian(const std::vector<SweepAxis>& axes) {
+  for (const auto& axis : axes) {
+    if (axis.values.empty()) {
+      throw std::invalid_argument("cartesian: empty axis '" + axis.name + "'");
+    }
+  }
+  std::vector<SweepPoint> points{{}};
+  for (const auto& axis : axes) {
+    std::vector<SweepPoint> next;
+    next.reserve(points.size() * axis.values.size());
+    for (const auto& base : points) {
+      for (const double v : axis.values) {
+        SweepPoint p = base;
+        p[axis.name] = v;
+        next.push_back(std::move(p));
+      }
+    }
+    points = std::move(next);
+  }
+  return points;
+}
+
+std::vector<SweepResult> run_sweep(
+    const std::vector<SweepAxis>& axes, std::int64_t replicates,
+    std::uint64_t base_seed,
+    const std::function<double(const SweepPoint&, std::uint64_t)>& trial) {
+  if (replicates <= 0) {
+    throw std::invalid_argument("run_sweep: replicates must be > 0");
+  }
+  const auto points = cartesian(axes);
+  const auto total =
+      static_cast<std::int64_t>(points.size()) * replicates;
+  std::vector<double> values(static_cast<std::size_t>(total), 0.0);
+
+  parallel_for(global_pool(), 0, total, [&](std::int64_t i) {
+    const auto point_index = static_cast<std::size_t>(i / replicates);
+    const std::uint64_t seed =
+        rng::hash_combine(base_seed, static_cast<std::uint64_t>(i));
+    values[static_cast<std::size_t>(i)] = trial(points[point_index], seed);
+  });
+
+  std::vector<SweepResult> results;
+  results.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    SweepResult r;
+    r.point = points[p];
+    for (std::int64_t rep = 0; rep < replicates; ++rep) {
+      r.stats.add(values[p * static_cast<std::size_t>(replicates) +
+                         static_cast<std::size_t>(rep)]);
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+Table sweep_table(const std::vector<SweepAxis>& axes,
+                  const std::vector<SweepResult>& results,
+                  const std::string& value_name) {
+  std::vector<std::string> headers;
+  headers.reserve(axes.size() + 4);
+  for (const auto& axis : axes) headers.push_back(axis.name);
+  headers.push_back(value_name + "_mean");
+  headers.push_back(value_name + "_ci95");
+  headers.push_back(value_name + "_min");
+  headers.push_back(value_name + "_max");
+
+  Table table(std::move(headers));
+  for (const auto& r : results) {
+    std::vector<std::string> row;
+    row.reserve(axes.size() + 4);
+    for (const auto& axis : axes) {
+      row.push_back(Table::fmt(r.point.at(axis.name), 6));
+    }
+    row.push_back(Table::fmt(r.stats.mean(), 5));
+    row.push_back(Table::fmt(r.stats.ci_halfwidth(), 3));
+    row.push_back(Table::fmt(r.stats.min(), 5));
+    row.push_back(Table::fmt(r.stats.max(), 5));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace antalloc

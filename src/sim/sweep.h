@@ -1,0 +1,49 @@
+// Parameter sweeps: run an experiment over the cartesian product of
+// parameter values, replicated and in parallel, and collect a tidy table.
+// This is the workhorse behind the bench harness' γ/ε/n/k sweeps.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/table.h"
+#include "metrics/regret.h"
+#include "stats/summary.h"
+
+namespace antalloc {
+
+// One point of a sweep: named parameter values (doubles; integers are
+// representable exactly up to 2^53).
+using SweepPoint = std::map<std::string, double>;
+
+// A named axis and its values.
+struct SweepAxis {
+  std::string name;
+  std::vector<double> values;
+};
+
+// Cartesian product of the axes, in row-major order (last axis fastest).
+std::vector<SweepPoint> cartesian(const std::vector<SweepAxis>& axes);
+
+struct SweepResult {
+  SweepPoint point;
+  RunningStats stats;  // over replicates of the scalar the trial returned
+};
+
+// Runs `trial(point, replicate_seed)` for every point of the grid,
+// `replicates` times each, across the global thread pool. Trials must be
+// pure functions of (point, seed). Results are in grid order.
+std::vector<SweepResult> run_sweep(
+    const std::vector<SweepAxis>& axes, std::int64_t replicates,
+    std::uint64_t base_seed,
+    const std::function<double(const SweepPoint&, std::uint64_t)>& trial);
+
+// Renders sweep results as a table: one column per axis, then
+// mean / ci95 / min / max of the measured scalar.
+Table sweep_table(const std::vector<SweepAxis>& axes,
+                  const std::vector<SweepResult>& results,
+                  const std::string& value_name);
+
+}  // namespace antalloc

@@ -1,0 +1,52 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace antalloc {
+
+Histogram::Histogram(double lo, double hi, std::int32_t bins)
+    : lo_(lo), hi_(hi), counts_(static_cast<std::size_t>(bins), 0) {
+  if (!(hi > lo) || bins <= 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::int64_t>(std::floor((x - lo_) / width));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::int32_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+std::string Histogram::render(std::int32_t max_width) const {
+  std::int64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::int32_t b = 0; b < num_bins(); ++b) {
+    const auto bars = static_cast<std::int32_t>(
+        (count(b) * max_width + peak - 1) / peak);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%10.2f, %10.2f) %10lld ", bin_lo(b),
+                  bin_hi(b), static_cast<long long>(count(b)));
+    out << buf << std::string(static_cast<std::size_t>(count(b) > 0 ? bars : 0),
+                              '#')
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace antalloc

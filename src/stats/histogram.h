@@ -1,0 +1,39 @@
+// Fixed-bin histogram with text rendering — used by examples and benches to
+// show deficit distributions without external plotting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace antalloc {
+
+class Histogram {
+ public:
+  // `bins` equal-width bins over [lo, hi); out-of-range samples clamp into
+  // the edge bins so mass is never silently dropped.
+  Histogram(double lo, double hi, std::int32_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::int64_t total() const { return total_; }
+  std::int32_t num_bins() const { return static_cast<std::int32_t>(counts_.size()); }
+  std::int64_t count(std::int32_t bin) const {
+    return counts_[static_cast<std::size_t>(bin)];
+  }
+  double bin_lo(std::int32_t bin) const;
+  double bin_hi(std::int32_t bin) const { return bin_lo(bin + 1); }
+
+  // ASCII rendering, one line per bin: "[lo, hi)  count  ####".
+  std::string render(std::int32_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace antalloc

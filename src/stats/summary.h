@@ -1,0 +1,43 @@
+// Streaming summary statistics (Welford) and replicate aggregation with
+// normal-approximation confidence intervals, used by every bench to report
+// mean ± CI over independent trials.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace antalloc {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // unbiased sample variance
+  double stddev() const;
+  double stderr_mean() const;  // stddev / sqrt(count)
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // Half-width of the two-sided normal CI at the given z (default 95%).
+  double ci_halfwidth(double z = 1.96) const { return z * stderr_mean(); }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+RunningStats summarize(std::span<const double> values);
+
+// Quantile of a sample (linear interpolation between order statistics);
+// q in [0, 1]. The input is copied and sorted.
+double quantile(std::span<const double> values, double q);
+
+double median(std::span<const double> values);
+
+}  // namespace antalloc

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/colony.h"
+#include "noise/correlated.h"
+#include "noise/sigmoid.h"
+
+namespace antalloc {
+namespace {
+
+ColonyOptions small_options() {
+  ColonyOptions opts;
+  opts.n_ants = 8000;
+  opts.demands = DemandVector({Count{1000}, Count{800}});
+  opts.lambda = 0.7;  // gamma*(1e-6) ~ 0.025 on the min demand
+  opts.seed = 3;
+  return opts;
+}
+
+TEST(Colony, AutoPicksGammaAboveCriticalValue) {
+  Colony colony(small_options());
+  EXPECT_GT(colony.gamma(), 0.0);
+  EXPECT_LE(colony.gamma(), 1.0 / 16.0);
+}
+
+TEST(Colony, RunConvergesTowardsDemands) {
+  Colony colony(small_options());
+  colony.run(4000);
+  EXPECT_EQ(colony.round(), 4000);
+  EXPECT_NEAR(static_cast<double>(colony.loads()[0]), 1000.0,
+              5.0 * colony.gamma() * 1000.0 + 10.0);
+  EXPECT_NEAR(static_cast<double>(colony.loads()[1]), 800.0,
+              5.0 * colony.gamma() * 800.0 + 10.0);
+  EXPECT_LT(std::abs(colony.deficit(0)),
+            static_cast<Count>(5.0 * colony.gamma() * 1000.0 + 10.0));
+  EXPECT_GT(colony.average_regret(), 0.0);
+}
+
+TEST(Colony, InstantaneousRegretMatchesDeficits) {
+  Colony colony(small_options());
+  colony.run(100);
+  const Count expected = std::abs(colony.deficit(0)) + std::abs(colony.deficit(1));
+  EXPECT_EQ(colony.instantaneous_regret(), expected);
+}
+
+TEST(Colony, SetDemandsRebalances) {
+  Colony colony(small_options());
+  colony.run(3000);
+  colony.set_demands(DemandVector({Count{400}, Count{1400}}));
+  colony.run(4000);
+  EXPECT_NEAR(static_cast<double>(colony.loads()[0]), 400.0,
+              5.0 * colony.gamma() * 400.0 + 20.0);
+  EXPECT_NEAR(static_cast<double>(colony.loads()[1]), 1400.0,
+              5.0 * colony.gamma() * 1400.0 + 20.0);
+}
+
+TEST(Colony, SetDemandsRejectsShapeChange) {
+  Colony colony(small_options());
+  EXPECT_THROW(colony.set_demands(uniform_demands(3, 100)),
+               std::invalid_argument);
+}
+
+TEST(Colony, HarvestResetsRecorderButNotState) {
+  Colony colony(small_options());
+  colony.run(500);
+  const SimResult first = colony.harvest();
+  EXPECT_EQ(first.rounds, 500);
+  EXPECT_GT(first.total_regret, 0.0);
+  colony.run(100);
+  const SimResult second = colony.harvest();
+  // The new recorder only saw the last 100 rounds.
+  EXPECT_LT(second.total_regret, first.total_regret);
+  EXPECT_EQ(colony.round(), 600);
+}
+
+TEST(Colony, RejectsNonIidModel) {
+  auto opts = small_options();
+  opts.model = std::make_shared<CorrelatedFeedback>(
+      std::make_shared<SigmoidFeedback>(1.0), 0.5);
+  EXPECT_THROW(Colony{opts}, std::invalid_argument);
+}
+
+TEST(Colony, RejectsUnpickableGamma) {
+  auto opts = small_options();
+  opts.lambda = 0.001;  // gamma* way above 1/16
+  EXPECT_THROW(Colony{opts}, std::invalid_argument);
+}
+
+TEST(Colony, CustomModelAndAlgorithm) {
+  auto opts = small_options();
+  opts.algorithm = "precise-sigmoid";
+  opts.gamma = 0.05;
+  opts.epsilon = 0.5;
+  opts.model = std::make_shared<SigmoidFeedback>(0.7);
+  Colony colony(opts);
+  colony.run(200);
+  EXPECT_EQ(colony.round(), 200);
+}
+
+TEST(Colony, TraceStrideFlowsThroughHarvest) {
+  auto opts = small_options();
+  opts.trace_stride = 10;
+  Colony colony(opts);
+  colony.run(100);
+  const SimResult res = colony.harvest();
+  EXPECT_EQ(res.trace.size(), 10u);
+}
+
+}  // namespace
+}  // namespace antalloc

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "metrics/convergence.h"
+
+namespace antalloc {
+namespace {
+
+Trace make_trace(const std::vector<Count>& deficits) {
+  Trace trace(1, 1);
+  Round t = 0;
+  for (const Count d : deficits) {
+    trace.record(++t, std::vector<Count>{d}, std::abs(d));
+  }
+  return trace;
+}
+
+TEST(Convergence, DetectsEntryIntoBand) {
+  // Band for d=100, gamma=0.1: |deficit| <= 53.
+  const DemandVector demands({Count{100}});
+  const auto trace = make_trace({90, 70, 60, 50, 40, 30, 20, 10});
+  const auto stats = measure_convergence(trace, demands, 0.1);
+  EXPECT_TRUE(stats.converged());
+  EXPECT_EQ(stats.first_in_band, 4);  // first |d| <= 53 is 50 at t=4
+  EXPECT_EQ(stats.last_violation, 3);
+  EXPECT_DOUBLE_EQ(stats.occupancy_after_entry, 1.0);
+}
+
+TEST(Convergence, NeverConverged) {
+  const DemandVector demands({Count{100}});
+  const auto trace = make_trace({90, 80, 90, 100});
+  const auto stats = measure_convergence(trace, demands, 0.1);
+  EXPECT_FALSE(stats.converged());
+  EXPECT_EQ(stats.first_in_band, -1);
+  EXPECT_EQ(stats.last_violation, 4);
+}
+
+TEST(Convergence, RelapseLowersOccupancy) {
+  const DemandVector demands({Count{100}});
+  // Enters at t=1, relapses at t=3.
+  const auto trace = make_trace({10, 20, 90, 10});
+  const auto stats = measure_convergence(trace, demands, 0.1);
+  EXPECT_TRUE(stats.converged());
+  EXPECT_EQ(stats.first_in_band, 1);
+  EXPECT_EQ(stats.last_violation, 3);
+  EXPECT_DOUBLE_EQ(stats.occupancy_after_entry, 0.75);
+}
+
+TEST(Convergence, RespectsDemandSchedule) {
+  // Deficit 60 is out of band for d=100 (band 53) but inside for d=200
+  // (band 103). Schedule switches at t=3.
+  DemandSchedule schedule(DemandVector({Count{100}}));
+  schedule.add_change(3, DemandVector({Count{200}}));
+  const auto trace = make_trace({60, 60, 60, 60});
+  const auto stats = measure_convergence(trace, schedule, 0.1);
+  EXPECT_TRUE(stats.converged());
+  EXPECT_EQ(stats.first_in_band, 3);
+  EXPECT_EQ(stats.last_violation, 2);
+}
+
+TEST(Convergence, EmptyTrace) {
+  Trace trace(1, 1);
+  const auto stats = measure_convergence(trace, DemandVector({Count{10}}),
+                                         0.1);
+  EXPECT_FALSE(stats.converged());
+  EXPECT_EQ(stats.last_violation, 0);
+}
+
+}  // namespace
+}  // namespace antalloc

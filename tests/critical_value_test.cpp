@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/critical_value.h"
+#include "noise/sigmoid.h"
+
+namespace antalloc {
+namespace {
+
+TEST(CriticalValue, HalfwidthSolvesSigmoid) {
+  const double lambda = 1.0;
+  const Count d = 500;
+  const double delta = 1e-6;
+  const double g = sigmoid_grey_halfwidth(lambda, d, delta);
+  // By construction s(-g*d) == delta.
+  EXPECT_NEAR(sigmoid(lambda, -g * static_cast<double>(d)), delta,
+              1e-9 * delta + 1e-15);
+}
+
+TEST(CriticalValue, ShrinksWithSteeperSigmoid) {
+  const Count d = 1000;
+  const double g1 = sigmoid_grey_halfwidth(0.5, d, 1e-6);
+  const double g2 = sigmoid_grey_halfwidth(2.0, d, 1e-6);
+  EXPECT_GT(g1, g2);
+  EXPECT_NEAR(g1 / g2, 4.0, 1e-9);  // inversely proportional to lambda
+}
+
+TEST(CriticalValue, ShrinksWithLargerDemand) {
+  const double g1 = sigmoid_grey_halfwidth(1.0, 100, 1e-6);
+  const double g2 = sigmoid_grey_halfwidth(1.0, 1000, 1e-6);
+  EXPECT_NEAR(g1 / g2, 10.0, 1e-9);
+}
+
+TEST(CriticalValue, Definition23UsesMinDemandAndN8) {
+  const DemandVector demands({Count{200}, Count{1000}});
+  const Count n = 10'000;
+  const double g = critical_value_sigmoid(1.0, demands, n);
+  // Binding task is the min-demand one; delta = n^-8.
+  const double expected =
+      std::log(std::pow(static_cast<double>(n), 8.0) - 1.0) / (1.0 * 200.0);
+  EXPECT_NEAR(g, expected, 1e-12);
+}
+
+TEST(CriticalValue, PracticalVariant) {
+  const DemandVector demands({Count{500}});
+  const double g = critical_value_at(1.0, demands, 1e-6);
+  EXPECT_NEAR(g, std::log(1e6 - 1.0) / 500.0, 1e-12);
+  // The paper-verbatim n^-8 value is (much) larger at laptop n.
+  EXPECT_GT(critical_value_sigmoid(1.0, demands, 4096), g);
+}
+
+TEST(CriticalValue, GreyZoneMembership) {
+  EXPECT_TRUE(in_grey_zone(0.0, 100, 0.1));
+  EXPECT_TRUE(in_grey_zone(10.0, 100, 0.1));
+  EXPECT_TRUE(in_grey_zone(-10.0, 100, 0.1));
+  EXPECT_FALSE(in_grey_zone(10.1, 100, 0.1));
+  EXPECT_FALSE(in_grey_zone(-10.1, 100, 0.1));
+}
+
+TEST(CriticalValue, DegenerateInputs) {
+  EXPECT_TRUE(std::isinf(sigmoid_grey_halfwidth(0.0, 100, 1e-6)));
+  EXPECT_TRUE(std::isinf(sigmoid_grey_halfwidth(1.0, 0, 1e-6)));
+  EXPECT_THROW(sigmoid_grey_halfwidth(1.0, 100, 0.0), std::invalid_argument);
+  EXPECT_THROW(sigmoid_grey_halfwidth(1.0, 100, 0.6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace antalloc

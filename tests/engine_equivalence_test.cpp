@@ -1,0 +1,118 @@
+// Distributional-equivalence property tests: the aggregate kernel of each
+// algorithm must induce the same law on the load process as the per-ant
+// simulation. We compare replicate means of (a) steady-state loads and
+// (b) average regret, with tolerances derived from the replicate spread.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "aggregate/aggregate_sim.h"
+#include "agent/agent_sim.h"
+#include "algo/registry.h"
+#include "noise/adversarial.h"
+#include "noise/sigmoid.h"
+#include "parallel/trial_runner.h"
+#include "stats/summary.h"
+
+namespace antalloc {
+namespace {
+
+struct EquivalenceCase {
+  std::string algo;
+  std::string noise;  // "sigmoid" or "adversarial"
+  double gamma;
+  Round rounds;
+};
+
+std::unique_ptr<FeedbackModel> make_noise(const std::string& kind) {
+  if (kind == "sigmoid") return std::make_unique<SigmoidFeedback>(0.5);
+  return std::make_unique<AdversarialFeedback>(0.03, make_honest_adversary());
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(EngineEquivalence, MeansAgree) {
+  const auto param = GetParam();
+  constexpr Count kAnts = 2000;
+  const DemandVector demands({Count{400}, Count{300}});
+  constexpr int kReplicates = 12;
+
+  AlgoConfig algo_cfg;
+  algo_cfg.name = param.algo;
+  algo_cfg.gamma = param.gamma;
+  algo_cfg.epsilon = 0.5;
+
+  const Round warmup = param.rounds / 2;
+
+  RunningStats agent_load0;
+  RunningStats agent_regret;
+  const auto agent_results = run_sim_trials(
+      kReplicates, 1000, [&](std::int64_t, std::uint64_t seed) {
+        auto algo = make_agent_algorithm(algo_cfg);
+        auto fm = make_noise(param.noise);
+        AgentSimConfig cfg{.n_ants = kAnts,
+                           .rounds = param.rounds,
+                           .seed = seed,
+                           .metrics = {.gamma = param.gamma, .warmup = warmup}};
+        return run_agent_sim(*algo, *fm, demands, cfg);
+      });
+  for (const auto& r : agent_results) {
+    agent_load0.add(static_cast<double>(r.final_loads[0]));
+    agent_regret.add(r.post_warmup_average());
+  }
+
+  RunningStats agg_load0;
+  RunningStats agg_regret;
+  const auto agg_results = run_sim_trials(
+      kReplicates, 2000, [&](std::int64_t, std::uint64_t seed) {
+        auto kernel = make_aggregate_kernel(algo_cfg);
+        auto fm = make_noise(param.noise);
+        AggregateSimConfig cfg{.n_ants = kAnts,
+                               .rounds = param.rounds,
+                               .seed = seed,
+                               .metrics = {.gamma = param.gamma,
+                                           .warmup = warmup}};
+        return run_aggregate_sim(*kernel, *fm, demands, cfg);
+      });
+  for (const auto& r : agg_results) {
+    agg_load0.add(static_cast<double>(r.final_loads[0]));
+    agg_regret.add(r.post_warmup_average());
+  }
+
+  // Tolerance: 4x the combined standard error plus a small absolute floor
+  // (the two engines cannot be bitwise equal — different RNG pathways).
+  const double load_tol =
+      4.0 * std::sqrt(agent_load0.stderr_mean() * agent_load0.stderr_mean() +
+                      agg_load0.stderr_mean() * agg_load0.stderr_mean()) +
+      6.0;
+  EXPECT_NEAR(agent_load0.mean(), agg_load0.mean(), load_tol)
+      << param.algo << "/" << param.noise;
+
+  const double regret_tol =
+      4.0 * std::sqrt(agent_regret.stderr_mean() * agent_regret.stderr_mean() +
+                      agg_regret.stderr_mean() * agg_regret.stderr_mean()) +
+      0.15 * std::max(agent_regret.mean(), agg_regret.mean()) + 3.0;
+  EXPECT_NEAR(agent_regret.mean(), agg_regret.mean(), regret_tol)
+      << param.algo << "/" << param.noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, EngineEquivalence,
+    ::testing::Values(
+        EquivalenceCase{"ant", "sigmoid", 0.05, 1200},
+        EquivalenceCase{"ant", "adversarial", 0.05, 1200},
+        EquivalenceCase{"trivial", "sigmoid", 0.05, 600},
+        EquivalenceCase{"sharp-threshold", "sigmoid", 0.05, 600},
+        EquivalenceCase{"precise-sigmoid", "sigmoid", 0.05, 1640},
+        EquivalenceCase{"precise-adversarial", "adversarial", 0.05, 1600}),
+    [](const ::testing::TestParamInfo<EquivalenceCase>& info) {
+      std::string name = info.param.algo + "_" + info.param.noise;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace antalloc

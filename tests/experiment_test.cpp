@@ -1,0 +1,107 @@
+// Tests for the experiment façade: engine selection, replicated runs,
+// deterministic seeding, and the extraction helpers.
+#include <gtest/gtest.h>
+
+#include "noise/sigmoid.h"
+#include "sim/experiment.h"
+
+namespace antalloc {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.algo.name = "ant";
+  cfg.algo.gamma = 0.05;
+  cfg.n_ants = 4000;
+  cfg.rounds = 1000;
+  cfg.seed = 5;
+  cfg.metrics.gamma = 0.05;
+  cfg.metrics.warmup = 500;
+  return cfg;
+}
+
+TEST(Experiment, AggregateEngineRuns) {
+  auto cfg = base_config();
+  SigmoidFeedback fm(1.0);
+  const DemandSchedule schedule(uniform_demands(2, 800));
+  const auto res = run_experiment(cfg, fm, schedule);
+  EXPECT_EQ(res.rounds, 1000);
+  EXPECT_GT(res.total_regret, 0.0);
+}
+
+TEST(Experiment, AgentEngineRuns) {
+  auto cfg = base_config();
+  cfg.engine = "agent";
+  cfg.n_ants = 400;
+  SigmoidFeedback fm(1.0);
+  const DemandSchedule schedule(uniform_demands(2, 80));
+  const auto res = run_experiment(cfg, fm, schedule);
+  EXPECT_EQ(res.rounds, 1000);
+}
+
+TEST(Experiment, UnknownEngineThrows) {
+  auto cfg = base_config();
+  cfg.engine = "quantum";
+  SigmoidFeedback fm(1.0);
+  const DemandSchedule schedule(uniform_demands(1, 100));
+  EXPECT_THROW(run_experiment(cfg, fm, schedule), std::invalid_argument);
+}
+
+TEST(Experiment, InitialAllocationKindRespected) {
+  auto cfg = base_config();
+  cfg.initial = "adversarial";
+  cfg.rounds = 1;  // one round: hostile start still visible in regret
+  cfg.metrics.warmup = 0;
+  SigmoidFeedback fm(1.0);
+  const DemandSchedule schedule(uniform_demands(2, 800));
+  const auto res = run_experiment(cfg, fm, schedule);
+  // All 4000 ants on task 0 (demand 800): instantaneous regret near
+  // |800-4000| + 800 at the start.
+  EXPECT_GT(res.total_regret, 2000.0);
+}
+
+TEST(Experiment, ReplicatedRunsAreDeterministicAndDistinct) {
+  auto cfg = base_config();
+  const DemandSchedule schedule(uniform_demands(2, 800));
+  const auto make_model = [] {
+    return std::make_unique<SigmoidFeedback>(1.0);
+  };
+  const auto a = run_replicated_experiment(cfg, make_model, schedule, 4);
+  const auto b = run_replicated_experiment(cfg, make_model, schedule, 4);
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(a[i].total_regret, b[i].total_regret);
+  }
+  // Different replicates use different seeds.
+  EXPECT_NE(a[0].total_regret, a[1].total_regret);
+}
+
+TEST(Experiment, ExtractionHelpers) {
+  auto cfg = base_config();
+  const DemandSchedule schedule(uniform_demands(2, 800));
+  const auto results = run_replicated_experiment(
+      cfg, [] { return std::make_unique<SigmoidFeedback>(1.0); }, schedule, 3);
+  const auto averages = extract_post_warmup_average(results);
+  ASSERT_EQ(averages.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(averages[i], results[i].post_warmup_average());
+  }
+  const auto closeness = extract_closeness(results, 0.05, 1600);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(closeness[i], averages[i] / (0.05 * 1600.0));
+  }
+}
+
+TEST(Experiment, MetricsGammaDefaultsToAlgoGamma) {
+  auto cfg = base_config();
+  cfg.metrics.gamma = 0.0;  // sentinel: inherit from the algorithm
+  SigmoidFeedback fm(1.0);
+  const DemandSchedule schedule(uniform_demands(1, 800));
+  // Would throw inside MetricsRecorder math only if gamma stayed 0 and the
+  // bands degenerated; mostly this checks the run completes sanely.
+  const auto res = run_experiment(cfg, fm, schedule);
+  EXPECT_GT(res.rounds, 0);
+}
+
+}  // namespace
+}  // namespace antalloc

@@ -1,0 +1,92 @@
+// Tests for the FeedbackAccess oracle the agent engine hands to algorithms:
+// per-(round, ant, task) determinism, mask packing, and the out-of-model
+// demand accessor.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "algo/algorithm.h"
+#include "noise/exact.h"
+#include "noise/sigmoid.h"
+
+namespace antalloc {
+namespace {
+
+TEST(FeedbackAccess, SameCellSameDraw) {
+  SigmoidFeedback fm(1.0);
+  const std::vector<double> deficits{0.0, 0.0};  // fair coins
+  const std::vector<Count> demands{Count{100}, Count{100}};
+  const FeedbackAccess fb(fm, 7, deficits, demands, 99);
+  for (int ant = 0; ant < 50; ++ant) {
+    for (TaskId j = 0; j < 2; ++j) {
+      EXPECT_EQ(fb.sample(ant, j), fb.sample(ant, j));
+    }
+  }
+}
+
+TEST(FeedbackAccess, CellsAreIndependentAcrossCoordinates) {
+  SigmoidFeedback fm(1.0);
+  const std::vector<double> deficits{0.0};
+  const std::vector<Count> demands{Count{100}};
+  const FeedbackAccess r1(fm, 1, deficits, demands, 99);
+  const FeedbackAccess r2(fm, 2, deficits, demands, 99);
+  // At a fair coin, 64 ants agreeing across two rounds is a 2^-64 event.
+  int agreements = 0;
+  for (int ant = 0; ant < 64; ++ant) {
+    if (r1.sample(ant, 0) == r2.sample(ant, 0)) ++agreements;
+  }
+  EXPECT_GT(agreements, 0);
+  EXPECT_LT(agreements, 64);
+}
+
+TEST(FeedbackAccess, SeedChangesDraws) {
+  SigmoidFeedback fm(1.0);
+  const std::vector<double> deficits{0.0};
+  const std::vector<Count> demands{Count{100}};
+  const FeedbackAccess a(fm, 1, deficits, demands, 1);
+  const FeedbackAccess b(fm, 1, deficits, demands, 2);
+  int diffs = 0;
+  for (int ant = 0; ant < 200; ++ant) {
+    if (a.sample(ant, 0) != b.sample(ant, 0)) ++diffs;
+  }
+  EXPECT_GT(diffs, 50);
+}
+
+TEST(FeedbackAccess, MaskMatchesPerTaskSamples) {
+  SigmoidFeedback fm(1.0);
+  const std::vector<double> deficits{5.0, -5.0, 0.0};
+  const std::vector<Count> demands{Count{100}, Count{100}, Count{100}};
+  const FeedbackAccess fb(fm, 3, deficits, demands, 17);
+  for (int ant = 0; ant < 30; ++ant) {
+    const std::uint64_t mask = fb.sample_lack_mask(ant);
+    for (TaskId j = 0; j < 3; ++j) {
+      const bool bit = (mask >> j) & 1;
+      EXPECT_EQ(bit, fb.sample(ant, j) == Feedback::kLack)
+          << "ant " << ant << " task " << j;
+    }
+    EXPECT_EQ(mask >> 3, 0u);  // no stray bits
+  }
+}
+
+TEST(FeedbackAccess, ExactFeedbackMaskIsDeterministic) {
+  ExactFeedback fm;
+  const std::vector<double> deficits{1.0, -1.0};
+  const std::vector<Count> demands{Count{10}, Count{10}};
+  const FeedbackAccess fb(fm, 1, deficits, demands, 5);
+  for (int ant = 0; ant < 10; ++ant) {
+    EXPECT_EQ(fb.sample_lack_mask(ant), 0b01u);
+  }
+}
+
+TEST(FeedbackAccess, DemandAccessor) {
+  SigmoidFeedback fm(1.0);
+  const std::vector<double> deficits{0.0, 0.0};
+  const std::vector<Count> demands{Count{123}, Count{456}};
+  const FeedbackAccess fb(fm, 1, deficits, demands, 5);
+  EXPECT_EQ(fb.num_tasks(), 2);
+  EXPECT_EQ(fb.demand(0), 123);
+  EXPECT_EQ(fb.demand(1), 456);
+}
+
+}  // namespace
+}  // namespace antalloc

@@ -1,0 +1,68 @@
+// Tests for the memory-budget machinery (Theorem 3.3 experiment support).
+#include <gtest/gtest.h>
+
+#include "agent/memory_fsm.h"
+#include "algo/ant.h"
+#include "algo/precise_sigmoid.h"
+
+namespace antalloc {
+namespace {
+
+TEST(BitsForWindow, GrowsLogarithmically) {
+  EXPECT_EQ(bits_for_window(1), kControlBits + 1);
+  // m = 3: counter range [0,3] -> 2 bits.
+  EXPECT_EQ(bits_for_window(3), kControlBits + 2);
+  EXPECT_EQ(bits_for_window(255), kControlBits + 8);
+  EXPECT_THROW(bits_for_window(0), std::invalid_argument);
+}
+
+TEST(MemoryBudget, MaxWindowIsOddAndMonotone) {
+  std::int32_t prev = 0;
+  for (int bits = 3; bits <= 16; ++bits) {
+    const MemoryBudget budget{bits};
+    const auto m = budget.max_window();
+    EXPECT_EQ(m % 2, 1) << bits;
+    EXPECT_GE(m, prev) << bits;
+    // The produced window must itself fit the budget.
+    EXPECT_LE(bits_for_window(m), bits) << bits;
+    prev = m;
+  }
+}
+
+TEST(MemoryBudget, EpsilonRegimes) {
+  // Tiny budgets cannot run a median window at all.
+  EXPECT_GE(MemoryBudget{3}.epsilon_for(10.0), 1.0);
+  EXPECT_GE(MemoryBudget{4}.epsilon_for(10.0), 1.0);
+  // Larger budgets buy geometrically smaller epsilon.
+  const double e8 = MemoryBudget{8}.epsilon_for(10.0);
+  const double e12 = MemoryBudget{12}.epsilon_for(10.0);
+  ASSERT_LT(e8, 1.0);
+  EXPECT_LT(e12, e8);
+  EXPECT_NEAR(e8 / e12, 16.0, 3.0);  // 4 extra bits ~ 16x finer
+}
+
+TEST(MemoryFactories, FallBackToAntWhenBudgetTiny) {
+  const auto agent = make_memory_limited_agent(MemoryBudget{3}, 0.05);
+  EXPECT_EQ(agent->name(), "ant");
+  const auto kernel = make_memory_limited_kernel(MemoryBudget{3}, 0.05);
+  EXPECT_EQ(kernel->name(), "ant");
+}
+
+TEST(MemoryFactories, UsePreciseSigmoidWhenBudgetAllows) {
+  const auto agent = make_memory_limited_agent(MemoryBudget{10}, 0.05);
+  EXPECT_EQ(agent->name(), "precise-sigmoid");
+  const auto kernel = make_memory_limited_kernel(MemoryBudget{10}, 0.05);
+  EXPECT_EQ(kernel->name(), "precise-sigmoid");
+  // The configured window must respect the budget.
+  const auto* ps = dynamic_cast<PreciseSigmoidAggregate*>(kernel.get());
+  ASSERT_NE(ps, nullptr);
+  EXPECT_LE(bits_for_window(ps->params().window()), 10 + 1);
+}
+
+TEST(MemoryFactories, EffectiveEpsilonMatchesBudget) {
+  const MemoryBudget b{12};
+  EXPECT_DOUBLE_EQ(effective_epsilon(b), b.epsilon_for(10.0));
+}
+
+}  // namespace
+}  // namespace antalloc

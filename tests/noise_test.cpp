@@ -1,0 +1,170 @@
+// Tests for the noise models: sigmoid axioms (§2.2), adversarial grey-zone
+// semantics, exactness, and the correlated wrapper's marginal preservation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "noise/adversarial.h"
+#include "noise/correlated.h"
+#include "noise/exact.h"
+#include "noise/sigmoid.h"
+#include "rng/xoshiro.h"
+
+namespace antalloc {
+namespace {
+
+TEST(Sigmoid, Axioms) {
+  // s(0) = 1/2; monotone; antisymmetric; saturates.
+  EXPECT_DOUBLE_EQ(sigmoid(1.0, 0.0), 0.5);
+  EXPECT_LT(sigmoid(1.0, -1.0), sigmoid(1.0, 0.0));
+  EXPECT_GT(sigmoid(1.0, 1.0), sigmoid(1.0, 0.0));
+  EXPECT_NEAR(sigmoid(1.0, 3.0) + sigmoid(1.0, -3.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(1.0, 1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(1.0, -1000.0), 0.0, 1e-12);
+}
+
+TEST(Sigmoid, NumericallyStableAtExtremes) {
+  EXPECT_EQ(sigmoid(1.0, 1e6), 1.0);
+  EXPECT_EQ(sigmoid(1.0, -1e6), 0.0);
+  EXPECT_FALSE(std::isnan(sigmoid(100.0, -1e300)));
+}
+
+TEST(SigmoidFeedback, LackProbabilityIsSigmoidOfDeficit) {
+  const SigmoidFeedback fm(0.5);
+  EXPECT_DOUBLE_EQ(fm.lack_probability(1, 0, 0.0, 100.0), 0.5);
+  EXPECT_NEAR(fm.lack_probability(1, 0, 4.0, 100.0), sigmoid(0.5, 4.0), 1e-15);
+  EXPECT_TRUE(fm.iid_across_ants());
+  EXPECT_FALSE(fm.deterministic());
+}
+
+TEST(SigmoidFeedback, RejectsBadLambda) {
+  EXPECT_THROW(SigmoidFeedback(0.0), std::invalid_argument);
+  EXPECT_THROW(SigmoidFeedback(-1.0), std::invalid_argument);
+}
+
+TEST(SigmoidFeedback, SampleMatchesProbability) {
+  const SigmoidFeedback fm(1.0);
+  rng::Xoshiro256 gen(5);
+  const double deficit = 1.0;  // s(1) ~ 0.731
+  int lacks = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (fm.sample(1, 0, i, deficit, 100.0, gen) == Feedback::kLack) ++lacks;
+  }
+  EXPECT_NEAR(static_cast<double>(lacks) / kDraws, sigmoid(1.0, 1.0), 0.01);
+}
+
+TEST(AdversarialFeedback, TruthfulOutsideGreyZone) {
+  AdversarialFeedback fm(0.1, make_anti_gradient_adversary());
+  // Grey zone for demand 100 is [-10, 10].
+  EXPECT_DOUBLE_EQ(fm.lack_probability(1, 0, 10.5, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fm.lack_probability(1, 0, -10.5, 100.0), 0.0);
+  EXPECT_TRUE(fm.deterministic());
+}
+
+TEST(AdversarialFeedback, AdversaryControlsGreyZone) {
+  AdversarialFeedback anti(0.1, make_anti_gradient_adversary());
+  // Inside the zone, anti-gradient inverts the truth.
+  EXPECT_DOUBLE_EQ(anti.lack_probability(1, 0, 5.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(anti.lack_probability(1, 0, -5.0, 100.0), 1.0);
+
+  AdversarialFeedback honest(0.1, make_honest_adversary());
+  EXPECT_DOUBLE_EQ(honest.lack_probability(1, 0, 5.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(honest.lack_probability(1, 0, -5.0, 100.0), 0.0);
+
+  AdversarialFeedback lacky(0.1, make_always_lack_adversary());
+  EXPECT_DOUBLE_EQ(lacky.lack_probability(1, 0, -5.0, 100.0), 1.0);
+
+  AdversarialFeedback ovy(0.1, make_always_overload_adversary());
+  EXPECT_DOUBLE_EQ(ovy.lack_probability(1, 0, 5.0, 100.0), 0.0);
+}
+
+TEST(AdversarialFeedback, AlternatingDependsOnRound) {
+  AdversarialFeedback fm(0.1, make_alternating_adversary());
+  EXPECT_DOUBLE_EQ(fm.lack_probability(2, 0, 0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fm.lack_probability(3, 0, 0.0, 100.0), 0.0);
+}
+
+TEST(AdversarialFeedback, IndistinguishablePairAgreesOnSharedLoads) {
+  // Theorem 3.5 construction: the two response functions must coincide for
+  // every load, so no algorithm can tell d from d' = d(1 + 2g). Both flip
+  // from lack to overload at the common load L* = d(1+g) = d' - g d.
+  const double g = 0.1;
+  const Count d = 100;
+  const Count d_prime = d + static_cast<Count>(2 * g * d);  // 120
+  AdversarialFeedback plus(g, make_indistinguishable_adversary(+1, g));
+  AdversarialFeedback minus(g, make_indistinguishable_adversary(-1, g));
+  for (Count load = 0; load <= 200; ++load) {
+    const double deficit_d = static_cast<double>(d - load);
+    const double deficit_dp = static_cast<double>(d_prime - load);
+    const double f_plus = plus.lack_probability(1, 0, deficit_d,
+                                                static_cast<double>(d));
+    const double f_minus = minus.lack_probability(
+        1, 0, deficit_dp, static_cast<double>(d_prime));
+    EXPECT_EQ(f_plus, f_minus) << "load " << load;
+  }
+}
+
+TEST(AdversarialFeedback, Validation) {
+  EXPECT_THROW(AdversarialFeedback(-0.1, make_honest_adversary()),
+               std::invalid_argument);
+  EXPECT_THROW(AdversarialFeedback(0.1, nullptr), std::invalid_argument);
+  EXPECT_THROW(make_indistinguishable_adversary(0, 0.1), std::invalid_argument);
+}
+
+TEST(ExactFeedback, SignOfDeficit) {
+  const ExactFeedback fm;
+  EXPECT_DOUBLE_EQ(fm.lack_probability(1, 0, 0.0, 100.0), 1.0);  // W <= d
+  EXPECT_DOUBLE_EQ(fm.lack_probability(1, 0, 3.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fm.lack_probability(1, 0, -1.0, 100.0), 0.0);
+  EXPECT_TRUE(fm.deterministic());
+}
+
+TEST(CorrelatedFeedback, PreservesMarginals) {
+  auto base = std::make_shared<SigmoidFeedback>(1.0);
+  CorrelatedFeedback fm(base, 0.5);
+  EXPECT_FALSE(fm.iid_across_ants());
+  EXPECT_DOUBLE_EQ(fm.lack_probability(1, 0, 2.0, 100.0),
+                   base->lack_probability(1, 0, 2.0, 100.0));
+}
+
+TEST(CorrelatedFeedback, FullCorrelationSharesDraws) {
+  auto base = std::make_shared<SigmoidFeedback>(1.0);
+  CorrelatedFeedback fm(base, 1.0);  // every cell shared
+  rng::Xoshiro256 gen(3);
+  const std::vector<double> deficits{0.0};
+  const std::vector<Count> demands{Count{100}};
+  fm.begin_round(1, deficits, demands, gen);
+  const Feedback first = fm.sample(1, 0, 0, 0.0, 100.0, gen);
+  for (int ant = 1; ant < 50; ++ant) {
+    EXPECT_EQ(fm.sample(1, 0, ant, 0.0, 100.0, gen), first);
+  }
+}
+
+TEST(CorrelatedFeedback, ZeroCorrelationIsIndependent) {
+  auto base = std::make_shared<SigmoidFeedback>(1.0);
+  CorrelatedFeedback fm(base, 0.0);
+  rng::Xoshiro256 gen(3);
+  const std::vector<double> deficits{0.0};
+  const std::vector<Count> demands{Count{100}};
+  fm.begin_round(1, deficits, demands, gen);
+  // At deficit 0 each draw is a fair coin; 200 identical draws would be a
+  // 2^-199 event.
+  int lacks = 0;
+  for (int ant = 0; ant < 200; ++ant) {
+    if (fm.sample(1, 0, ant, 0.0, 100.0, gen) == Feedback::kLack) ++lacks;
+  }
+  EXPECT_GT(lacks, 0);
+  EXPECT_LT(lacks, 200);
+}
+
+TEST(CorrelatedFeedback, Validation) {
+  auto base = std::make_shared<SigmoidFeedback>(1.0);
+  EXPECT_THROW(CorrelatedFeedback(nullptr, 0.5), std::invalid_argument);
+  EXPECT_THROW(CorrelatedFeedback(base, 1.5), std::invalid_argument);
+  EXPECT_THROW(CorrelatedFeedback(base, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace antalloc

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "aggregate/aggregate_sim.h"
+#include "algo/ant.h"
+#include "noise/per_task.h"
+#include "noise/sigmoid.h"
+
+namespace antalloc {
+namespace {
+
+TEST(PerTaskSigmoid, UsesTaskSpecificLambda) {
+  const PerTaskSigmoidFeedback fm({2.0, 0.5});
+  EXPECT_NEAR(fm.lack_probability(1, 0, 1.0, 100.0), sigmoid(2.0, 1.0), 1e-15);
+  EXPECT_NEAR(fm.lack_probability(1, 1, 1.0, 100.0), sigmoid(0.5, 1.0), 1e-15);
+  EXPECT_TRUE(fm.iid_across_ants());
+}
+
+TEST(PerTaskSigmoid, Validation) {
+  EXPECT_THROW(PerTaskSigmoidFeedback({}), std::invalid_argument);
+  EXPECT_THROW(PerTaskSigmoidFeedback({1.0, 0.0}), std::invalid_argument);
+  const PerTaskSigmoidFeedback fm({1.0});
+  EXPECT_THROW(fm.lack_probability(1, 5, 0.0, 10.0), std::out_of_range);
+}
+
+TEST(PerTaskSigmoid, AntHandlesHeterogeneousSensing) {
+  // Task 0 has crisp sensing (steep sigmoid), task 1 fuzzy sensing. The
+  // learning rate must clear the WORST grey zone (Definition 2.3 takes the
+  // binding task); with that, both tasks converge into their bands — but
+  // the fuzzy task settles with a visibly larger offset.
+  const DemandVector demands({Count{2000}, Count{2000}});
+  // gamma*(1e-6) per task: crisp 13.8/(1.0*2000)=0.007; fuzzy
+  // 13.8/(0.02*2000)=0.345/10=0.0345... lambda 0.2 -> 0.0345.
+  PerTaskSigmoidFeedback fm({1.0, 0.2});
+  const double gamma = 0.05;  // >= the binding gamma* of 0.0345
+  AntAggregate kernel(AntParams{.gamma = gamma});
+  AggregateSimConfig cfg{.n_ants = 16'000,
+                         .rounds = 6000,
+                         .seed = 3,
+                         .metrics = {.gamma = gamma, .warmup = 3000}};
+  const auto res = run_aggregate_sim(kernel, fm, demands, cfg);
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_NEAR(
+        static_cast<double>(res.final_loads[static_cast<std::size_t>(j)]),
+        2000.0, 5.0 * gamma * 2000.0 + 3.0)
+        << "task " << j;
+  }
+}
+
+}  // namespace
+}  // namespace antalloc

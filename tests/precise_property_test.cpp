@@ -1,0 +1,123 @@
+// Property-style parameterized sweeps for the precise algorithms, mirroring
+// the AntConvergence grid: across (ε, γ, k, noise), a warm-started colony
+// must (a) stay stationary at its operating point, (b) keep the average
+// regret below the corresponding theorem's budget, and (c) preserve the
+// regret-decomposition identity.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "aggregate/aggregate_sim.h"
+#include "algo/precise_adversarial.h"
+#include "algo/precise_sigmoid.h"
+#include "algo/registry.h"
+#include "noise/adversarial.h"
+#include "noise/sigmoid.h"
+
+namespace antalloc {
+namespace {
+
+struct PreciseCase {
+  std::string algo;  // "precise-sigmoid" or "precise-adversarial"
+  double gamma;
+  double epsilon;
+  std::int32_t k;
+};
+
+class PreciseConvergence : public ::testing::TestWithParam<PreciseCase> {};
+
+TEST_P(PreciseConvergence, WarmStartIsStationaryAndWithinBudget) {
+  const auto param = GetParam();
+  const Count demand = 40'000;
+  const DemandVector demands = uniform_demands(param.k, demand);
+  const Count n = 4 * demands.total();
+
+  AlgoConfig cfg{.name = param.algo,
+                 .gamma = param.gamma,
+                 .epsilon = param.epsilon};
+  auto kernel = make_aggregate_kernel(cfg);
+
+  Round phase = 0;
+  Count warm = 0;
+  std::unique_ptr<FeedbackModel> fm;
+  double budget = 0.0;
+  if (param.algo == "precise-sigmoid") {
+    const PreciseSigmoidParams p{.gamma = param.gamma,
+                                 .epsilon = param.epsilon};
+    phase = p.phase_length();
+    const double step = param.epsilon * param.gamma / p.cchi;
+    warm = static_cast<Count>(static_cast<double>(demand) *
+                              (1.0 + 2.0 * step));
+    fm = std::make_unique<SigmoidFeedback>(0.05);
+    // Theorem 3.2 budget with unit constant.
+    budget = param.epsilon * param.gamma *
+             static_cast<double>(demands.total());
+  } else {
+    const PreciseAdversarialParams p{.gamma = param.gamma,
+                                     .epsilon = param.epsilon};
+    phase = p.phase_length();
+    warm = static_cast<Count>(static_cast<double>(demand) *
+                              (1.0 + param.gamma));
+    fm = std::make_unique<AdversarialFeedback>(0.02, make_honest_adversary());
+    // Theorem 3.6 budget.
+    budget = (1.0 + param.epsilon) * param.gamma *
+             static_cast<double>(demands.total());
+  }
+
+  const Round rounds = 80 * phase;
+  AggregateSimConfig sim{
+      .n_ants = n,
+      .rounds = rounds,
+      .seed = 1001,
+      .metrics = {.gamma = param.gamma, .warmup = rounds / 2},
+      .initial_loads = std::vector<Count>(static_cast<std::size_t>(param.k),
+                                          warm)};
+  const auto res = run_aggregate_sim(*kernel, *fm, demands, sim);
+
+  // (a) stationarity: final loads near the warm start.
+  for (std::int32_t j = 0; j < param.k; ++j) {
+    EXPECT_NEAR(
+        static_cast<double>(res.final_loads[static_cast<std::size_t>(j)]),
+        static_cast<double>(warm), 0.5 * param.gamma * demand + 50.0)
+        << param.algo << " eps=" << param.epsilon << " task " << j;
+  }
+  // (b) regret within the theorem budget.
+  EXPECT_LT(res.post_warmup_average(), budget)
+      << param.algo << " eps=" << param.epsilon;
+  // (c) decomposition identity.
+  EXPECT_NEAR(res.total_regret,
+              res.regret_plus + res.regret_near + res.regret_minus,
+              1e-6 * (1.0 + res.total_regret));
+}
+
+std::string precise_name(
+    const ::testing::TestParamInfo<PreciseCase>& info) {
+  std::string name = info.param.algo + "_g" +
+                     std::to_string(static_cast<int>(info.param.gamma * 1000)) +
+                     "_e" +
+                     std::to_string(static_cast<int>(info.param.epsilon * 1000)) +
+                     "_k" + std::to_string(info.param.k);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SigmoidGrid, PreciseConvergence,
+    ::testing::Values(PreciseCase{"precise-sigmoid", 0.2, 0.5, 1},
+                      PreciseCase{"precise-sigmoid", 0.2, 0.25, 1},
+                      PreciseCase{"precise-sigmoid", 0.2, 0.5, 2},
+                      PreciseCase{"precise-sigmoid", 0.1, 0.5, 1}),
+    precise_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    AdversarialGrid, PreciseConvergence,
+    ::testing::Values(PreciseCase{"precise-adversarial", 0.05, 0.5, 1},
+                      PreciseCase{"precise-adversarial", 0.05, 0.25, 1},
+                      PreciseCase{"precise-adversarial", 0.05, 0.5, 2},
+                      PreciseCase{"precise-adversarial", 0.0625, 0.5, 1}),
+    precise_name);
+
+}  // namespace
+}  // namespace antalloc

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "algo/registry.h"
+
+namespace antalloc {
+namespace {
+
+TEST(Registry, AllNamesConstructAgents) {
+  for (const auto& name : algorithm_names()) {
+    AlgoConfig cfg;
+    cfg.name = name;
+    cfg.gamma = 0.05;
+    cfg.epsilon = 0.5;
+    const auto agent = make_agent_algorithm(cfg);
+    ASSERT_NE(agent, nullptr) << name;
+    EXPECT_EQ(agent->name(), name);
+    if (has_aggregate_kernel(name)) {
+      const auto kernel = make_aggregate_kernel(cfg);
+      ASSERT_NE(kernel, nullptr) << name;
+      EXPECT_EQ(kernel->name(), name);
+    } else {
+      EXPECT_THROW(make_aggregate_kernel(cfg), std::invalid_argument) << name;
+    }
+  }
+}
+
+TEST(Registry, InModelNamesAreASubset) {
+  const auto all = algorithm_names();
+  for (const auto& name : in_model_algorithm_names()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+    EXPECT_NE(name, "oracle");
+    EXPECT_NE(name, "threshold");
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  AlgoConfig cfg;
+  cfg.name = "no-such-algorithm";
+  EXPECT_THROW(make_agent_algorithm(cfg), std::invalid_argument);
+  EXPECT_THROW(make_aggregate_kernel(cfg), std::invalid_argument);
+}
+
+TEST(Registry, ParametersAreForwarded) {
+  AlgoConfig cfg;
+  cfg.name = "precise-sigmoid";
+  cfg.gamma = 0.03;
+  cfg.epsilon = 0.25;
+  cfg.verbatim_leave_probability = true;
+  // Construction succeeding with these params is the contract; a wrong
+  // forwarding (e.g. epsilon=0) would throw.
+  EXPECT_NO_THROW(make_agent_algorithm(cfg));
+  cfg.epsilon = 0.0;
+  EXPECT_THROW(make_agent_algorithm(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace antalloc

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+
+namespace antalloc {
+namespace {
+
+TEST(Scenario, DayNightFlips) {
+  const auto day = uniform_demands(2, 100);
+  const auto night = uniform_demands(2, 60);
+  const auto s = day_night_schedule(day, night, 50, 200);
+  EXPECT_EQ(s.demands_at(0)[0], 100);
+  EXPECT_EQ(s.demands_at(49)[0], 100);
+  EXPECT_EQ(s.demands_at(50)[0], 60);
+  EXPECT_EQ(s.demands_at(100)[0], 100);
+  EXPECT_EQ(s.demands_at(150)[0], 60);
+  EXPECT_THROW(day_night_schedule(day, night, 0, 100), std::invalid_argument);
+}
+
+TEST(Scenario, SingleShockMultipliesTask0Only) {
+  const auto base = uniform_demands(3, 100);
+  const auto s = single_shock_schedule(base, 500, 2.0);
+  EXPECT_EQ(s.demands_at(499)[0], 100);
+  EXPECT_EQ(s.demands_at(500)[0], 200);
+  EXPECT_EQ(s.demands_at(500)[1], 100);
+  EXPECT_EQ(s.demands_at(500)[2], 100);
+}
+
+TEST(Scenario, StaircaseCompounds) {
+  const auto base = uniform_demands(1, 100);
+  const auto s = staircase_schedule(base, 100, 1.5, 3);
+  EXPECT_EQ(s.demands_at(99)[0], 100);
+  EXPECT_EQ(s.demands_at(100)[0], 150);
+  EXPECT_EQ(s.demands_at(200)[0], 225);
+  EXPECT_EQ(s.demands_at(300)[0], 338);  // round(337.5)
+}
+
+TEST(Scenario, MassDeathEquivalence) {
+  const auto base = uniform_demands(1, 700);
+  const auto s = mass_death_schedule(base, 100, 0.3);
+  // 30% of the colony dying = demands growing by 1/0.7.
+  EXPECT_EQ(s.demands_at(100)[0], 1000);
+  EXPECT_THROW(mass_death_schedule(base, 100, 1.0), std::invalid_argument);
+}
+
+TEST(Scenario, StandardSuiteIsWellFormed) {
+  const auto base = uniform_demands(4, 200);
+  const auto scenarios = standard_scenarios(base, 10'000);
+  EXPECT_GE(scenarios.size(), 6u);
+  for (const auto& sc : scenarios) {
+    EXPECT_FALSE(sc.name.empty());
+    EXPECT_EQ(sc.schedule.num_tasks(), 4);
+    EXPECT_FALSE(sc.initial.empty());
+    // Every scenario must remain feasible for a colony with 2x slack.
+    EXPECT_LE(sc.schedule.max_total(), 2 * base.total() * 2);
+  }
+}
+
+}  // namespace
+}  // namespace antalloc

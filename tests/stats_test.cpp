@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/summary.h"
+
+namespace antalloc {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+  EXPECT_NEAR(small.ci_halfwidth() / large.ci_halfwidth(), 10.0, 1.0);
+}
+
+TEST(Summarize, MatchesRunning) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+}
+
+TEST(Quantile, OrderStatistics) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  // Interpolated.
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.375), 2.5);
+}
+
+TEST(Quantile, Validation) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(2), 1);
+  EXPECT_EQ(h.count(4), 2);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.7);
+  h.add(1.5);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('2'), std::string::npos);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace antalloc

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "sim/sweep.h"
+
+namespace antalloc {
+namespace {
+
+TEST(Cartesian, ProductOrderAndSize) {
+  const std::vector<SweepAxis> axes{{"a", {1.0, 2.0}}, {"b", {10.0, 20.0, 30.0}}};
+  const auto points = cartesian(axes);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_DOUBLE_EQ(points[0].at("a"), 1.0);
+  EXPECT_DOUBLE_EQ(points[0].at("b"), 10.0);
+  EXPECT_DOUBLE_EQ(points[1].at("b"), 20.0);  // last axis fastest
+  EXPECT_DOUBLE_EQ(points[3].at("a"), 2.0);
+  EXPECT_DOUBLE_EQ(points[5].at("b"), 30.0);
+}
+
+TEST(Cartesian, EmptyAxisRejected) {
+  EXPECT_THROW(cartesian({{"a", {}}}), std::invalid_argument);
+}
+
+TEST(Cartesian, NoAxesGivesSinglePoint) {
+  const auto points = cartesian({});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_TRUE(points[0].empty());
+}
+
+TEST(RunSweep, AggregatesReplicates) {
+  const std::vector<SweepAxis> axes{{"x", {2.0, 3.0}}};
+  const auto results = run_sweep(
+      axes, 5, 7, [](const SweepPoint& p, std::uint64_t seed) {
+        // Deterministic per (point, seed): x plus a small seed-dependent
+        // wiggle.
+        return p.at("x") + static_cast<double>(seed % 7) * 1e-3;
+      });
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].stats.count(), 5);
+  EXPECT_NEAR(results[0].stats.mean(), 2.0, 0.01);
+  EXPECT_NEAR(results[1].stats.mean(), 3.0, 0.01);
+}
+
+TEST(RunSweep, DeterministicAcrossRuns) {
+  const std::vector<SweepAxis> axes{{"x", {1.0, 2.0, 3.0}}};
+  auto trial = [](const SweepPoint& p, std::uint64_t seed) {
+    return p.at("x") * static_cast<double>(seed % 1000);
+  };
+  const auto a = run_sweep(axes, 4, 99, trial);
+  const auto b = run_sweep(axes, 4, 99, trial);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].stats.mean(), b[i].stats.mean());
+  }
+}
+
+TEST(RunSweep, RejectsZeroReplicates) {
+  EXPECT_THROW(
+      run_sweep({{"x", {1.0}}}, 0, 1,
+                [](const SweepPoint&, std::uint64_t) { return 0.0; }),
+      std::invalid_argument);
+}
+
+TEST(SweepTable, ColumnsMatchAxes) {
+  const std::vector<SweepAxis> axes{{"gamma", {0.1}}, {"k", {4.0}}};
+  const auto results = run_sweep(
+      axes, 3, 1, [](const SweepPoint&, std::uint64_t) { return 42.0; });
+  const Table table = sweep_table(axes, results, "regret");
+  const std::string text = table.render();
+  EXPECT_NE(text.find("gamma"), std::string::npos);
+  EXPECT_NE(text.find("k"), std::string::npos);
+  EXPECT_NE(text.find("regret_mean"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace antalloc

@@ -1,0 +1,149 @@
+// Tests for the trivial algorithm (Appendix D): sequential-model stability
+// versus synchronous-model full-colony oscillation, plus the sharp-threshold
+// baseline's exact-feedback behaviour.
+#include <gtest/gtest.h>
+
+#include "aggregate/aggregate_sim.h"
+#include "agent/agent_sim.h"
+#include "algo/sharp_threshold.h"
+#include "algo/trivial.h"
+#include "metrics/oscillation.h"
+#include "noise/exact.h"
+#include "noise/sigmoid.h"
+
+namespace antalloc {
+namespace {
+
+TEST(ReactiveParams, Validation) {
+  EXPECT_THROW(ReactiveAgent(ReactiveParams{.leave_probability = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ReactiveAggregate(ReactiveParams{.leave_probability = 1.5}),
+               std::invalid_argument);
+}
+
+TEST(TrivialSynchronous, FullColonyOscillation) {
+  // Appendix D.2: one task with demand n/4, all ants idle; under near-exact
+  // feedback (steep sigmoid) the whole colony joins and leaves in lockstep.
+  const Count n = 4000;
+  const DemandVector demands({n / 4});
+  ReactiveAggregate kernel(ReactiveParams{});
+  const SigmoidFeedback fm(5.0);  // effectively exact near the threshold
+  AggregateSimConfig cfg{.n_ants = n,
+                         .rounds = 400,
+                         .seed = 3,
+                         .metrics = {.gamma = 0.05, .trace_stride = 1}};
+  const auto res = run_aggregate_sim(kernel, fm, demands, cfg);
+  const auto stats = analyze_trace_task(res.trace, 0, /*skip=*/10);
+  // The deficit flips sign nearly every round and swings by Theta(n).
+  EXPECT_GT(stats.crossing_rate(), 0.5);
+  EXPECT_GT(stats.max_abs_deficit, n / 2);
+  // Average regret is Theta(n) per round — catastrophically far.
+  EXPECT_GT(res.average_regret(), static_cast<double>(n) / 4.0);
+}
+
+TEST(TrivialSequential, StaysNearDemand) {
+  // Appendix D.1: the same rule in the sequential model self-corrects.
+  const Count n = 4000;
+  const DemandVector demands({n / 4});
+  SigmoidFeedback fm(0.05);  // gamma* ~ ln(1e6)/ (0.05*1000) = 0.27
+  const Allocation init(n, {demands[0]});  // start at the demand
+  const auto res = run_trivial_sequential(
+      n, demands, 40'000, fm, init,
+      {.gamma = 0.05, .warmup = 10'000, .trace_stride = 10}, 5);
+  // Regret stays bounded by a constant multiple of gamma* * d, far from the
+  // Theta(n) blowup of the synchronous run.
+  EXPECT_LT(res.post_warmup_average(), static_cast<double>(n) / 8.0);
+  EXPECT_GT(res.post_warmup_average(), 0.0);
+}
+
+TEST(TrivialSequential, ValidatesColonySize) {
+  const DemandVector demands({Count{10}});
+  SigmoidFeedback fm(1.0);
+  const Allocation init = Allocation::all_idle(5, 1);
+  EXPECT_THROW(run_trivial_sequential(10, demands, 100, fm, init, {}, 1),
+               std::invalid_argument);
+}
+
+TEST(SharpThreshold, SequentialExactConverges) {
+  // The baseline's home turf: noiseless binary feedback in the sequential
+  // model, where only one ant reacts per round — no flood.
+  ExactFeedback fm;
+  const DemandVector demands({Count{1000}, Count{500}});
+  const Allocation init = Allocation::all_idle(6000, 2);
+  const auto res = run_reactive_sequential(
+      ReactiveParams{.leave_probability = kSharpThresholdLeaveProbability},
+      6000, demands, 40'000, fm, init, {.gamma = 0.05, .warmup = 20'000}, 7);
+  // Near-perfect: the deficit hovers within a couple of ants of zero.
+  EXPECT_LT(res.post_warmup_average(), 10.0);
+}
+
+TEST(SharpThreshold, SynchronousExactFloodsAndOscillates) {
+  // The same rule in the synchronous model breaks even WITHOUT noise: every
+  // idle ant floods any lacking task simultaneously, then half the workers
+  // leave on the resulting overload, re-creating the lack. This is exactly
+  // the failure mode Algorithm Ant's stable zone eliminates, and it
+  // motivates the slow join/leave rates of the paper's algorithms.
+  auto kernel = make_sharp_threshold_aggregate();
+  const ExactFeedback fm;
+  const DemandVector demands({Count{1000}, Count{500}});
+  AggregateSimConfig cfg{.n_ants = 6000,
+                         .rounds = 2000,
+                         .seed = 7,
+                         .metrics = {.gamma = 0.05, .warmup = 1000,
+                                     .trace_stride = 1}};
+  const auto res = run_aggregate_sim(*kernel, fm, demands, cfg);
+  EXPECT_GT(res.post_warmup_average(), 500.0);
+  const auto stats = analyze_trace_task(res.trace, 0, 100);
+  EXPECT_GT(stats.crossing_rate(), 0.2);
+}
+
+TEST(SharpThreshold, SequentialDegradesUnderWideGreyZone) {
+  // Under a shallow sigmoid (wide grey zone) the same sequential baseline's
+  // steady-state regret grows with the zone width: it has no mechanism to
+  // stay out of the unreliable region.
+  const DemandVector demands({Count{1000}, Count{500}});
+  const Allocation init(6000, {Count{1000}, Count{500}});
+  auto regret_at = [&](double lambda) {
+    SigmoidFeedback fm(lambda);
+    return run_reactive_sequential(
+               ReactiveParams{.leave_probability =
+                                  kSharpThresholdLeaveProbability},
+               6000, demands, 60'000, fm, init,
+               {.gamma = 0.05, .warmup = 30'000}, 7)
+        .post_warmup_average();
+  };
+  const double sharp = regret_at(5.0);    // near-exact feedback
+  const double shallow = regret_at(0.02); // grey zone ~ hundreds of ants
+  EXPECT_GT(shallow, 3.0 * sharp);
+}
+
+TEST(ReactiveAgentAggregate, SameQualitativeBehaviour) {
+  // Agent and aggregate forms of the trivial rule must both oscillate in the
+  // synchronous model on the Appendix D.2 workload.
+  const Count n = 1000;
+  const DemandVector demands({n / 4});
+  const SigmoidFeedback fm(5.0);
+
+  ReactiveAgent agent(ReactiveParams{});
+  AgentSimConfig acfg{.n_ants = n,
+                      .rounds = 200,
+                      .seed = 11,
+                      .metrics = {.gamma = 0.05, .trace_stride = 1}};
+  SigmoidFeedback fm_agent(5.0);
+  const auto agent_res = run_agent_sim(agent, fm_agent, demands, acfg);
+  const auto agent_stats = analyze_trace_task(agent_res.trace, 0, 10);
+
+  ReactiveAggregate kernel(ReactiveParams{});
+  AggregateSimConfig kcfg{.n_ants = n,
+                          .rounds = 200,
+                          .seed = 13,
+                          .metrics = {.gamma = 0.05, .trace_stride = 1}};
+  const auto agg_res = run_aggregate_sim(kernel, fm, demands, kcfg);
+  const auto agg_stats = analyze_trace_task(agg_res.trace, 0, 10);
+
+  EXPECT_GT(agent_stats.crossing_rate(), 0.5);
+  EXPECT_GT(agg_stats.crossing_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace antalloc
