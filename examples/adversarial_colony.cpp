@@ -5,6 +5,10 @@
 // against the full adversary gallery and shows that (a) both stay close
 // despite worst-case lies, and (b) Precise Adversarial additionally almost
 // never makes its ants switch tasks (Theorem 3.6).
+//
+// Build & run:
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/examples/adversarial_colony
 #include <cstdio>
 #include <memory>
 

@@ -2,10 +2,8 @@
 // model and colony shape from flags, get a summary table and an ASCII
 // deficit plot. The fastest way to poke at the system interactively.
 //
-//   ./build/examples/antalloc_cli --algo=ant --n=65536 --k=4 --demand=4000 \
-//       --lambda=0.2 --rounds=8000 --gamma=0.05 --plot=true
-//   ./build/examples/antalloc_cli --algo=precise-adversarial --noise=adv \
-//       --adversary=anti-gradient --gamma_ad=0.02
+//   ./build/examples/antalloc_cli --algo=ant --n=65536 --k=4 --demand=4000 --lambda=0.2 --rounds=8000 --gamma=0.05 --plot=true
+//   ./build/examples/antalloc_cli --algo=precise-adversarial --noise=adv --adversary=anti-gradient --gamma_ad=0.02
 #include <cstdio>
 #include <memory>
 

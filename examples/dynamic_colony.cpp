@@ -3,6 +3,10 @@
 // (modelled as the equivalent demand surge), and the colony re-balances
 // every time without any coordination or restart — the behaviour Remark 3.4
 // promises for free from the algorithm's self-stabilizing structure.
+//
+// Build & run:
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/examples/dynamic_colony
 #include <cstdio>
 
 #include "core/critical_value.h"

@@ -6,6 +6,10 @@
 // fits (plain Ant when no median window fits, Precise Sigmoid otherwise),
 // and prints the achieved regret — halving roughly with every extra bit
 // until the budget is too small for any median at all.
+//
+// Build & run:
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/examples/memory_tradeoff
 #include <cstdio>
 
 #include "aggregate/aggregate_sim.h"

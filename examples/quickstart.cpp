@@ -3,7 +3,7 @@
 // the 5γ·d band and staying there.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart
 #include <cstdio>
 

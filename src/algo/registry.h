@@ -1,4 +1,14 @@
 // Factory for algorithms by name, shared by benches, examples and tests.
+//
+// Callers fill an AlgoConfig (algorithm name plus the shared parameter pot:
+// learning rate γ, precision ε, the paper's constants cs/cd/cχ) and ask for
+// either execution form — make_agent_algorithm for the per-ant automaton or
+// make_aggregate_kernel for the exact count-level kernel. Both factories
+// throw std::invalid_argument on unknown names; the kernel factory also
+// throws for agent-only algorithms (query has_aggregate_kernel first).
+// Adding an algorithm = implement the interface(s) in algo/ and register
+// the name in registry.cpp; benches, examples and the CLI pick it up by
+// name with no further wiring.
 #pragma once
 
 #include <memory>

@@ -1,4 +1,9 @@
 // Aligned plain-text / markdown table writer for bench output.
+//
+// Construct with the header row, add_row() free-form string cells (the
+// static fmt() helpers format numbers consistently), then render() for
+// aligned plain text, render_markdown() for GitHub-flavored markdown, or
+// to_csv() for the same data as CSV (what BenchContext mirrors to disk).
 #pragma once
 
 #include <cstdint>
