@@ -1,7 +1,21 @@
 // P1 — Engine microbenchmarks (google-benchmark): cost per simulated round
 // of the aggregate kernel (independent of n) vs the agent engine (linear in
 // n), plus the samplers the aggregate engine is built on.
+//
+// Besides the console table, every run mirrors its numbers to
+// bench_perf_engines.<machine-profile>.csv in the working directory, where
+// the profile stamps OS, architecture and hardware-thread count. Checked-in
+// baselines live in bench/baselines/ — later hot-path PRs diff against them
+// to prove speedups (see bench/baselines/README.md).
 #include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <sys/utsname.h>
 
 #include "aggregate/aggregate_sim.h"
 #include "agent/agent_sim.h"
@@ -90,6 +104,113 @@ void BM_AgentAntRound(benchmark::State& state) {
 }
 BENCHMARK(BM_AgentAntRound)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
 
+// "<os>-<arch>-<N>t", e.g. "linux-x86_64-8t": enough to tell two baseline
+// environments apart without leaking hostnames into checked-in CSVs.
+std::string machine_profile() {
+  std::string os = "unknown";
+  std::string arch = "unknown";
+  utsname uts{};
+  if (uname(&uts) == 0) {
+    os = uts.sysname;
+    arch = uts.machine;
+    for (auto& c : os) c = static_cast<char>(std::tolower(c));
+  }
+  return os + "-" + arch + "-" +
+         std::to_string(std::thread::hardware_concurrency()) + "t";
+}
+
+// Minimal CSV reporter (the library's own CSVReporter is deprecated): one
+// row per benchmark with the metrics baseline diffs need. Rows are buffered
+// and the file is written only in Finalize, and only when at least one
+// benchmark actually reported — a filtered run that matches nothing must
+// not clobber a previously captured baseline CSV with an empty file.
+class BaselineCsvReporter : public benchmark::BenchmarkReporter {
+ public:
+  BaselineCsvReporter(std::string path, std::string profile)
+      : path_(std::move(path)), profile_(std::move(profile)) {}
+
+  bool ReportContext(const Context& /*context*/) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const auto counter = run.counters.find("items_per_second");
+      const double items = counter != run.counters.end()
+                               ? static_cast<double>(counter->second.value)
+                               : 0.0;
+      std::ostringstream row;
+      row << profile_ << ',' << run.benchmark_name() << ',' << run.iterations
+          << ',' << run.GetAdjustedRealTime() << ','
+          << run.GetAdjustedCPUTime() << ',' << items << '\n';
+      rows_ += row.str();
+    }
+  }
+
+  void Finalize() override {
+    if (rows_.empty()) return;
+    std::ofstream out(path_);
+    out << "machine_profile,benchmark,iterations,real_ns,cpu_ns,"
+           "items_per_second\n"
+        << rows_;
+    written_ = out.good();
+  }
+
+  // Whether a non-empty CSV was written (checked for the final message).
+  bool written() const { return written_; }
+
+ private:
+  std::string path_;
+  std::string profile_;
+  std::string rows_;
+  bool written_ = false;
+};
+
+// Forwards every report to the console AND the baseline CSV (the library
+// only accepts a separate file reporter together with --benchmark_out).
+class TeeReporter : public benchmark::BenchmarkReporter {
+ public:
+  TeeReporter(benchmark::BenchmarkReporter* a, benchmark::BenchmarkReporter* b)
+      : a_(a), b_(b) {}
+
+  bool ReportContext(const Context& context) override {
+    // The console reporter governs whether the run proceeds; the CSV side
+    // degrades to console-only on failure instead of aborting everything.
+    const bool ok_a = a_->ReportContext(context);
+    b_->ReportContext(context);
+    return ok_a;
+  }
+  void ReportRuns(const std::vector<Run>& runs) override {
+    a_->ReportRuns(runs);
+    b_->ReportRuns(runs);
+  }
+  void Finalize() override {
+    a_->Finalize();
+    b_->Finalize();
+  }
+
+ private:
+  benchmark::BenchmarkReporter* a_;
+  benchmark::BenchmarkReporter* b_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::string profile = machine_profile();
+  benchmark::AddCustomContext("machine_profile", profile);
+  const std::string csv_path = "bench_perf_engines." + profile + ".csv";
+  BaselineCsvReporter csv(csv_path, profile);
+  benchmark::ConsoleReporter console;
+  TeeReporter tee(&console, &csv);
+  benchmark::RunSpecifiedBenchmarks(&tee);
+  benchmark::Shutdown();
+  if (csv.written()) {
+    std::printf("[csv written to %s]\n", csv_path.c_str());
+  } else {
+    std::fprintf(stderr, "[no csv written: no benchmarks ran or %s was not "
+                 "writable]\n", csv_path.c_str());
+  }
+  return 0;
+}

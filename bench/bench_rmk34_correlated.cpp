@@ -4,13 +4,14 @@
 //
 // We wrap the sigmoid model in the correlated-noise wrapper (a ρ-fraction of
 // (round, task) cells give ALL ants one shared draw) and sweep ρ from 0
-// (i.i.d.) to 1 (fully shared). The per-ant marginals are identical across
-// the sweep, so Algorithm Ant's steady-state regret must stay flat. Runs use
+// (i.i.d.) to 1 (fully shared) as the noise axis of a one-scenario campaign.
+// The per-ant marginals are identical across the sweep, so Algorithm Ant's
+// steady-state regret must stay flat. The campaign's auto engine resolves to
 // the agent engine — the aggregate kernel correctly refuses non-i.i.d.
 // models.
-#include "agent/agent_sim.h"
 #include "noise/correlated.h"
 #include "common.h"
+#include "sim/campaign.h"
 
 using namespace antalloc;
 
@@ -35,27 +36,42 @@ int main(int argc, char** argv) {
                           {"rho", "avg_regret", "ci95", "band_budget",
                            "ratio_vs_rho0"});
 
+  CampaignConfig campaign;
+  {
+    ScenarioSpec spec;
+    spec.name = "constant";
+    spec.initial = InitialKind::kIdle;
+    campaign.scenarios.push_back(make_scenario(spec, demands, rounds));
+  }
+  campaign.algos = {AlgoConfig{.name = "ant", .gamma = gamma}};
+  for (const double rho : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    campaign.noises.push_back(
+        {"rho=" + Table::fmt(rho, 3), [lambda, rho] {
+           return std::make_unique<CorrelatedFeedback>(
+               std::make_shared<SigmoidFeedback>(lambda), rho);
+         }});
+  }
+  campaign.engine = Engine::kAuto;  // resolves to agent: noise is not i.i.d.
+  campaign.n_ants = n;
+  campaign.rounds = rounds;
+  campaign.seed = 57;
+  campaign.replicates = replicates;
+  // Common random numbers across the rho axis: ratio_vs_rho0 is a paired
+  // comparison, as in the pre-campaign version of this bench.
+  campaign.pair_noise_seeds = true;
+  campaign.metrics.gamma = gamma;
+  campaign.metrics.warmup = rounds / 2;
+
+  const CampaignResult result = run_campaign(campaign);
+
   double baseline = 0.0;
   const double budget =
       5.0 * gamma * static_cast<double>(demands.total()) + 3.0 * k;
-  for (const double rho : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    const auto values = run_trials(
-        replicates, 57, [&](std::int64_t, std::uint64_t seed) {
-          AlgoConfig algo{.name = "ant", .gamma = gamma};
-          auto agent = make_agent_algorithm(algo);
-          CorrelatedFeedback fm(std::make_shared<SigmoidFeedback>(lambda),
-                                rho);
-          AgentSimConfig sim{.n_ants = n,
-                             .rounds = rounds,
-                             .seed = seed,
-                             .metrics = {.gamma = gamma,
-                                         .warmup = rounds / 2}};
-          return run_agent_sim(*agent, fm, demands, sim)
-              .post_warmup_average();
-        });
-    const RunningStats regret = summarize(values);
-    if (rho == 0.0) baseline = regret.mean();
-    ctx.table.add_row({Table::fmt(rho, 3), Table::fmt(regret.mean(), 5),
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const RunningStats& regret = result.cells[i].regret;
+    if (i == 0) baseline = regret.mean();
+    ctx.table.add_row({result.cells[i].noise.substr(4),
+                       Table::fmt(regret.mean(), 5),
                        Table::fmt(regret.ci_halfwidth(), 3),
                        Table::fmt(budget, 5),
                        Table::fmt(regret.mean() / baseline, 3)});

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       cfg.n_ants = n;
       cfg.rounds = rounds;
       cfg.seed = 41;
-      cfg.initial = "uniform";
+      cfg.initial = InitialKind::kUniform;
       cfg.metrics.gamma = algo.gamma;
       cfg.metrics.warmup = rounds / 2;
       const auto results = run_replicated_experiment(

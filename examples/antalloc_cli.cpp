@@ -1,15 +1,15 @@
 // antalloc_cli: a general simulator driver — pick the algorithm, noise
 // model and colony shape from flags, get a summary table and an ASCII
-// deficit plot. The fastest way to poke at the system interactively.
+// deficit plot; or run a whole scenario × algorithm campaign matrix. The
+// fastest way to poke at the system interactively.
 //
 //   ./build/examples/antalloc_cli --algo=ant --n=65536 --k=4 --demand=4000 --lambda=0.2 --rounds=8000 --gamma=0.05 --plot=true
 //   ./build/examples/antalloc_cli --algo=precise-adversarial --noise=adv --adversary=anti-gradient --gamma_ad=0.02
+//   ./build/examples/antalloc_cli --campaign=true --scenarios=all --algos=ant,trivial --replicates=4 --csv=campaign.csv
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
-#include "aggregate/aggregate_sim.h"
-#include "agent/agent_sim.h"
-#include "algo/registry.h"
 #include "core/critical_value.h"
 #include "io/args.h"
 #include "io/plot.h"
@@ -18,6 +18,7 @@
 #include "noise/adversarial.h"
 #include "noise/exact.h"
 #include "noise/sigmoid.h"
+#include "sim/campaign.h"
 
 using namespace antalloc;
 
@@ -35,15 +36,28 @@ std::unique_ptr<GreyZoneAdversary> make_adversary(const std::string& name,
   throw std::invalid_argument("unknown adversary '" + name + "'");
 }
 
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
   const std::string algo_name = args.get_string("algo", "ant");
-  const std::string engine = args.get_string("engine", "auto");
+  const std::string engine_name = args.get_string("engine", "auto");
   const std::string noise = args.get_string("noise", "sigmoid");
   const std::string adversary = args.get_string("adversary", "honest");
-  const std::string initial = args.get_string("initial", "idle");
+  const std::string initial_name = args.get_string("initial", "idle");
   const Count n = args.get_int("n", 1 << 16);
   const auto k = static_cast<std::int32_t>(args.get_int("k", 4));
   const Count demand = args.get_int("demand", 4000);
@@ -54,70 +68,122 @@ int main(int argc, char** argv) {
   const Round rounds = args.get_int("rounds", 8000);
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const bool plot = args.get_bool("plot", true);
+  const bool campaign_mode = args.get_bool("campaign", false);
+  const std::string scenarios_flag = args.get_string("scenarios", "all");
+  const std::string algos_flag = args.get_string("algos", "ant");
+  const auto replicates = args.get_int("replicates", 2);
+  const std::string csv_path = args.get_string("csv", "");
   const bool help = args.get_bool("help", false);
   if (help) {
     std::printf("%s\n", args.help().c_str());
     std::printf("algos:");
     for (const auto& a : algorithm_names()) std::printf(" %s", a.c_str());
-    std::printf("\nnoise: sigmoid | adv | exact; engine: auto | agent | "
-                "aggregate\n");
+    std::printf("\nscenarios (--campaign=true; --scenarios=all or a comma "
+                "list):\n");
+    for (const auto& s : scenario_names()) {
+      std::printf("  %-18s %s\n", s.c_str(),
+                  std::string(scenario_description(s)).c_str());
+    }
+    std::printf("noise: sigmoid | adv | exact; engine: auto | agent | "
+                "aggregate; initial: idle | uniform | adversarial | random\n");
     return 0;
   }
   args.check_unknown();
 
+  // Parse the string flags into enums once, at the boundary.
+  const Engine engine = parse_engine(engine_name);
+  const InitialKind initial = parse_initial_kind(initial_name);
+
   const DemandVector demands = uniform_demands(k, demand);
-  std::unique_ptr<FeedbackModel> fm;
+
+  // The noise axis: one factory (single runs) reused by campaign mode.
+  NoiseSpec noise_spec;
   if (noise == "sigmoid") {
-    fm = std::make_unique<SigmoidFeedback>(lambda);
+    noise_spec = {"sigmoid(lambda=" + Table::fmt(lambda, 3) + ")",
+                  [lambda] { return std::make_unique<SigmoidFeedback>(lambda); }};
     if (gamma <= 0.0) {
       gamma = std::min(1.0 / 16.5, 1.5 * critical_value_at(lambda, demands,
                                                            1e-6));
     }
   } else if (noise == "adv") {
-    fm = std::make_unique<AdversarialFeedback>(
-        gamma_ad, make_adversary(adversary, gamma_ad));
+    noise_spec = {"adv(" + adversary + ")", [adversary, gamma_ad] {
+                    return std::make_unique<AdversarialFeedback>(
+                        gamma_ad, make_adversary(adversary, gamma_ad));
+                  }};
     if (gamma <= 0.0) gamma = std::min(1.0 / 16.5, 1.5 * gamma_ad);
   } else if (noise == "exact") {
-    fm = std::make_unique<ExactFeedback>();
+    noise_spec = {"exact", [] { return std::make_unique<ExactFeedback>(); }};
     if (gamma <= 0.0) gamma = 0.05;
   } else {
     std::fprintf(stderr, "unknown noise '%s'\n", noise.c_str());
     return 2;
   }
 
-  AlgoConfig algo{.name = algo_name, .gamma = gamma, .epsilon = epsilon};
-  const bool use_agent =
-      engine == "agent" ||
-      (engine == "auto" &&
-       (!has_aggregate_kernel(algo_name) || !fm->iid_across_ants()));
+  if (campaign_mode) {
+    CampaignConfig campaign;
+    const std::vector<std::string> scenario_list =
+        scenarios_flag == "all" ? scenario_names() : split_csv(scenarios_flag);
+    for (const auto& name : scenario_list) {
+      ScenarioSpec spec;
+      spec.name = name;
+      spec.initial = initial;  // --initial applies to every cell
+      spec.seed = seed;
+      campaign.scenarios.push_back(make_scenario(spec, demands, rounds));
+    }
+    for (const auto& name : split_csv(algos_flag)) {
+      campaign.algos.push_back(
+          AlgoConfig{.name = name, .gamma = gamma, .epsilon = epsilon});
+    }
+    campaign.noises = {noise_spec};
+    campaign.engine = engine;
+    campaign.n_ants = n;
+    campaign.rounds = rounds;
+    campaign.seed = seed;
+    campaign.replicates = replicates;
+    campaign.metrics.gamma = gamma;
 
-  const Allocation init = make_initial_allocation(initial, n, k, seed);
-  const MetricsRecorder::Options metrics{
-      .gamma = gamma,
-      .warmup = rounds / 2,
-      .trace_stride = std::max<Round>(1, rounds / 512)};
-
-  SimResult res;
-  if (use_agent) {
-    auto agent = make_agent_algorithm(algo);
-    AgentSimConfig cfg{.n_ants = n, .rounds = rounds, .seed = seed,
-                       .metrics = metrics,
-                       .initial_loads = {init.loads().begin(),
-                                         init.loads().end()}};
-    res = run_agent_sim(*agent, *fm, demands, cfg);
-  } else {
-    auto kernel = make_aggregate_kernel(algo);
-    AggregateSimConfig cfg{.n_ants = n, .rounds = rounds, .seed = seed,
-                           .metrics = metrics,
-                           .initial_loads = {init.loads().begin(),
-                                             init.loads().end()}};
-    res = run_aggregate_sim(*kernel, *fm, demands, cfg);
+    std::printf("campaign: %lld scenarios x %lld algos on %s, n=%lld, k=%d, "
+                "%lld rounds x %lld replicates\n\n",
+                static_cast<long long>(campaign.scenarios.size()),
+                static_cast<long long>(campaign.algos.size()),
+                noise_spec.name.c_str(), static_cast<long long>(n), k,
+                static_cast<long long>(rounds),
+                static_cast<long long>(replicates));
+    const CampaignResult result = run_campaign(campaign);
+    std::printf("%s\n", result.table().render().c_str());
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      out << result.to_csv();
+      if (out.good()) {
+        std::printf("[csv written to %s]\n", csv_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: could not write %s\n", csv_path.c_str());
+        return 2;
+      }
+    }
+    return 0;
   }
+
+  ExperimentConfig cfg;
+  cfg.algo = AlgoConfig{.name = algo_name, .gamma = gamma, .epsilon = epsilon};
+  cfg.engine = engine;
+  cfg.n_ants = n;
+  cfg.rounds = rounds;
+  cfg.seed = seed;
+  cfg.initial = initial;
+  cfg.metrics = {.gamma = gamma,
+                 .warmup = rounds / 2,
+                 .trace_stride = std::max<Round>(1, rounds / 512)};
+
+  auto fm = noise_spec.make();
+  const Engine resolved = resolve_engine(engine, cfg.algo, *fm);
+  const SimResult res = run_experiment(cfg, *fm, DemandSchedule(demands));
 
   std::printf("%s on %s (%s engine): n=%lld, k=%d, d=%lld, gamma=%.4f, "
               "%lld rounds\n\n",
               algo_name.c_str(), std::string(fm->name()).c_str(),
-              use_agent ? "agent" : "aggregate", static_cast<long long>(n), k,
+              std::string(to_string(resolved)).c_str(),
+              static_cast<long long>(n), k,
               static_cast<long long>(demand), gamma,
               static_cast<long long>(rounds));
 

@@ -148,7 +148,10 @@ AggregateKernel::RoundOutput AntAggregate::step(Round t,
   }
 
   // Second round: second sample of the reduced loads, then permanent
-  // leaves and idle-pool joins.
+  // leaves and idle-pool joins. Joins come from the ants idle at the START
+  // of the phase — a leaver cannot rejoin in its own decision round (the
+  // agent automaton commits each ant to exactly one role per phase).
+  const Count joinable = idle_;
   for (std::size_t j = 0; j < k; ++j) {
     const auto tj = static_cast<TaskId>(j);
     const double deficit = static_cast<double>(demands[tj] - prev_visible_[j]);
@@ -169,7 +172,7 @@ AggregateKernel::RoundOutput AntAggregate::step(Round t,
   const std::vector<double> join_marginals =
       rng::uniform_choice_marginals(scratch_);
   const std::vector<Count> joins =
-      rng::multinomial_rest(gen_, idle_, join_marginals);
+      rng::multinomial_rest(gen_, joinable, join_marginals);
   for (std::size_t j = 0; j < k; ++j) {
     assigned_[j] += joins[j];
     idle_ -= joins[j];

@@ -228,7 +228,10 @@ AggregateKernel::RoundOutput PreciseSigmoidAggregate::step(
 
   if (r != 0) return {visible_, 0};
 
-  // Decision round.
+  // Decision round. Joins come from the ants idle at the START of the
+  // epoch — a leaver cannot rejoin in its own decision round (the agent
+  // automaton commits each ant to exactly one role per epoch).
+  const Count joinable = idle_;
   for (std::size_t j = 0; j < k; ++j) {
     const double med2_lack = median_lack_probability(window2_[j]);
     const double p_leave = (1.0 - med1_lack_[j]) * (1.0 - med2_lack) *
@@ -243,7 +246,7 @@ AggregateKernel::RoundOutput PreciseSigmoidAggregate::step(
   const std::vector<double> join_marginals =
       rng::uniform_choice_marginals(scratch_);
   const std::vector<Count> joins =
-      rng::multinomial_rest(gen_, idle_, join_marginals);
+      rng::multinomial_rest(gen_, joinable, join_marginals);
   for (std::size_t j = 0; j < k; ++j) {
     assigned_[j] += joins[j];
     idle_ -= joins[j];

@@ -38,7 +38,9 @@ std::vector<std::string> algorithm_names();
 // demands, and the threshold baseline) — what lower-bound benches iterate.
 std::vector<std::string> in_model_algorithm_names();
 
-// Whether an exact count-level kernel exists for this algorithm.
+// Whether an exact count-level kernel exists for this algorithm. Which
+// noise models that kernel simulates exactly is the kernel's own business:
+// ask AggregateKernel::supports(fm) on a constructed instance.
 bool has_aggregate_kernel(const std::string& name);
 
 std::unique_ptr<AgentAlgorithm> make_agent_algorithm(const AlgoConfig& cfg);

@@ -94,6 +94,11 @@ AggregateKernel::RoundOutput ReactiveAggregate::step(
                                       static_cast<double>(demands[tj]));
   }
 
+  // Only ants idle at the START of the round may join this round — a worker
+  // that leaves goes idle and joins next round at the earliest, exactly as
+  // in the per-ant automaton (engine equivalence depends on this ordering).
+  const Count joinable = idle_;
+
   // Workers leave on overload (each sees its own independent sample).
   for (std::size_t j = 0; j < k; ++j) {
     const double p_leave = (1.0 - scratch_[j]) * params_.leave_probability;
@@ -107,7 +112,7 @@ AggregateKernel::RoundOutput ReactiveAggregate::step(
   const std::vector<double> join_marginals =
       rng::uniform_choice_marginals(scratch_);
   const std::vector<Count> joins =
-      rng::multinomial_rest(gen_, idle_, join_marginals);
+      rng::multinomial_rest(gen_, joinable, join_marginals);
   for (std::size_t j = 0; j < k; ++j) {
     loads_[j] += joins[j];
     idle_ -= joins[j];

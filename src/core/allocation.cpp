@@ -72,33 +72,64 @@ Count Allocation::instantaneous_regret(const DemandVector& d) const {
   return r;
 }
 
-Allocation make_initial_allocation(std::string_view kind, Count n_ants,
+InitialKind parse_initial_kind(std::string_view kind) {
+  if (kind == "idle") return InitialKind::kIdle;
+  if (kind == "uniform") return InitialKind::kUniform;
+  if (kind == "adversarial") return InitialKind::kAdversarial;
+  if (kind == "random") return InitialKind::kRandom;
+  throw std::invalid_argument(
+      "parse_initial_kind: unknown kind '" + std::string(kind) +
+      "' (expected idle | uniform | adversarial | random)");
+}
+
+std::string_view to_string(InitialKind kind) {
+  switch (kind) {
+    case InitialKind::kIdle: return "idle";
+    case InitialKind::kUniform: return "uniform";
+    case InitialKind::kAdversarial: return "adversarial";
+    case InitialKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::vector<std::string> initial_kind_names() {
+  return {"idle", "uniform", "adversarial", "random"};
+}
+
+Allocation make_initial_allocation(InitialKind kind, Count n_ants,
                                    std::int32_t k, std::uint64_t seed) {
   const auto ku = static_cast<std::size_t>(k);
-  if (kind == "idle") return Allocation::all_idle(n_ants, k);
-  if (kind == "uniform") {
-    std::vector<Count> loads(ku, n_ants / k);
-    // Distribute the remainder over the first tasks.
-    for (std::size_t j = 0; j < static_cast<std::size_t>(n_ants % k); ++j) {
-      ++loads[j];
+  switch (kind) {
+    case InitialKind::kIdle:
+      return Allocation::all_idle(n_ants, k);
+    case InitialKind::kUniform: {
+      std::vector<Count> loads(ku, n_ants / k);
+      // Distribute the remainder over the first tasks.
+      for (std::size_t j = 0; j < static_cast<std::size_t>(n_ants % k); ++j) {
+        ++loads[j];
+      }
+      return Allocation(n_ants, std::move(loads));
     }
-    return Allocation(n_ants, std::move(loads));
+    case InitialKind::kAdversarial: {
+      std::vector<Count> loads(ku, 0);
+      loads[0] = n_ants;
+      return Allocation(n_ants, std::move(loads));
+    }
+    case InitialKind::kRandom: {
+      rng::Xoshiro256 gen(seed);
+      // Each ant independently picks a task or idle, uniformly over k+1 bins.
+      const std::vector<double> probs(ku, 1.0 / static_cast<double>(k + 1));
+      auto counts = rng::multinomial_rest(gen, n_ants, probs);
+      counts.pop_back();  // last bin is the idle pool
+      return Allocation(n_ants, std::move(counts));
+    }
   }
-  if (kind == "adversarial") {
-    std::vector<Count> loads(ku, 0);
-    loads[0] = n_ants;
-    return Allocation(n_ants, std::move(loads));
-  }
-  if (kind == "random") {
-    rng::Xoshiro256 gen(seed);
-    // Each ant independently picks a task or idle, uniformly over k+1 bins.
-    const std::vector<double> probs(ku, 1.0 / static_cast<double>(k + 1));
-    auto counts = rng::multinomial_rest(gen, n_ants, probs);
-    counts.pop_back();  // last bin is the idle pool
-    return Allocation(n_ants, std::move(counts));
-  }
-  throw std::invalid_argument("make_initial_allocation: unknown kind '" +
-                              std::string(kind) + "'");
+  throw std::invalid_argument("make_initial_allocation: bad kind");
+}
+
+Allocation make_initial_allocation(std::string_view kind, Count n_ants,
+                                   std::int32_t k, std::uint64_t seed) {
+  return make_initial_allocation(parse_initial_kind(kind), n_ants, k, seed);
 }
 
 }  // namespace antalloc

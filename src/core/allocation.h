@@ -3,6 +3,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -50,10 +51,21 @@ class Allocation {
   std::vector<Count> loads_;
 };
 
-// Initial-allocation generators for self-stabilization experiments.
-// `kind` values: "idle" (all idle), "uniform" (ants spread evenly over
-// tasks), "adversarial" (everything crammed onto task 0), "random"
-// (multinomial over tasks+idle).
+// Initial-allocation kinds for self-stabilization experiments: all ants
+// idle, ants spread evenly over tasks, everything crammed onto task 0, or a
+// multinomial draw over tasks+idle.
+enum class InitialKind { kIdle, kUniform, kAdversarial, kRandom };
+
+// Parses "idle" | "uniform" | "adversarial" | "random"; throws
+// std::invalid_argument naming the valid kinds otherwise.
+InitialKind parse_initial_kind(std::string_view kind);
+std::string_view to_string(InitialKind kind);
+std::vector<std::string> initial_kind_names();
+
+Allocation make_initial_allocation(InitialKind kind, Count n_ants,
+                                   std::int32_t k, std::uint64_t seed);
+
+// String convenience: parse_initial_kind + the enum overload.
 Allocation make_initial_allocation(std::string_view kind, Count n_ants,
                                    std::int32_t k, std::uint64_t seed);
 

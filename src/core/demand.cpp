@@ -68,17 +68,36 @@ void DemandSchedule::add_change(Round start, DemandVector demands) {
 }
 
 const DemandVector& DemandSchedule::demands_at(Round t) const {
-  // Segments are few (hand-written scenarios); linear scan from the back.
-  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
-    if (it->start <= t) return it->demands;
-  }
-  return segments_.front().demands;
+  // Generated schedules (ramps, seasonal load) can carry hundreds of
+  // segments, so look up by binary search: the last segment with start <= t.
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](Round round, const Segment& seg) { return round < seg.start; });
+  return it == segments_.begin() ? segments_.front().demands
+                                 : std::prev(it)->demands;
 }
 
 Count DemandSchedule::max_total() const {
   Count best = 0;
   for (const auto& seg : segments_) best = std::max(best, seg.demands.total());
   return best;
+}
+
+DemandSchedule sampled_schedule(
+    Round horizon, Round stride,
+    const std::function<DemandVector(Round)>& demands_at) {
+  if (horizon <= 0) throw std::invalid_argument("sampled_schedule: horizon > 0");
+  if (stride <= 0) throw std::invalid_argument("sampled_schedule: stride > 0");
+  DemandSchedule schedule(demands_at(0));
+  for (Round t = stride; t < horizon; t += stride) {
+    DemandVector next = demands_at(t);
+    const auto& prev = schedule.demands_at(t).values();
+    if (!std::equal(prev.begin(), prev.end(), next.values().begin(),
+                    next.values().end())) {
+      schedule.add_change(t, std::move(next));
+    }
+  }
+  return schedule;
 }
 
 }  // namespace antalloc

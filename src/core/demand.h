@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -66,6 +67,11 @@ class DemandSchedule {
   std::int32_t num_tasks() const { return segments_.front().demands.num_tasks(); }
   bool is_constant() const { return segments_.size() == 1; }
 
+  // Number of change points after round 0 (0 for a constant schedule).
+  std::int64_t num_changes() const {
+    return static_cast<std::int64_t>(segments_.size()) - 1;
+  }
+
   // Largest total demand over all segments (for capacity checks).
   Count max_total() const;
 
@@ -79,5 +85,14 @@ class DemandSchedule {
   };
   std::vector<Segment> segments_;
 };
+
+// Builds a piecewise-constant schedule by sampling a demand process at
+// rounds 0, stride, 2·stride, … < horizon. Consecutive equal vectors are
+// merged into one segment, so smooth processes stay compact. This is the
+// substrate the scenario registry's generated families (ramps, seasonal
+// load, correlated shocks) are built on.
+DemandSchedule sampled_schedule(
+    Round horizon, Round stride,
+    const std::function<DemandVector(Round)>& demands_at);
 
 }  // namespace antalloc

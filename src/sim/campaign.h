@@ -1,0 +1,93 @@
+// Campaign runner: scenario × algorithm × noise matrices through the
+// replicated experiment façade, producing tidy Table/CSV results.
+//
+// Every bench and example used to hand-roll its own double loop over
+// scenarios and algorithms; a campaign is that loop as a subsystem. Fill a
+// CampaignConfig (lists of scenarios from the scenario registry, AlgoConfigs
+// from the algorithm registry, named noise factories, plus the shared colony
+// shape), call run_campaign, and read back one CampaignCell per matrix entry
+// with replicate statistics and (optionally) the full SimResults.
+//
+// Determinism: the cell seed is hash(seed, scenario_index, algo_index,
+// noise_index) — matrix coordinates, so reordering an axis reseeds the
+// affected cells — and the per-replicate seeds derive from it by index
+// (run_sim_trials), so a campaign's numbers are identical for any thread
+// count. campaign_test pins this with explicit 1- and 4-thread pools.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "io/table.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "stats/summary.h"
+
+namespace antalloc {
+
+// A named noise-model factory: the third axis of the matrix (e.g. one entry
+// per correlation rho, or per grey-zone adversary).
+struct NoiseSpec {
+  std::string name;
+  ModelFactory make;
+};
+
+struct CampaignConfig {
+  std::vector<Scenario> scenarios;  // from the scenario registry (or bespoke)
+  std::vector<AlgoConfig> algos;
+  std::vector<NoiseSpec> noises;    // at least one entry
+  Engine engine = Engine::kAuto;    // resolved per cell (algo × noise)
+  Count n_ants = 1 << 14;
+  Round rounds = 10'000;
+  std::uint64_t seed = 1;
+  std::int64_t replicates = 1;
+  // metrics.gamma <= 0 inherits each algorithm's learning rate; warmup 0
+  // defaults to rounds/2 so post-warmup regret is meaningful out of the box.
+  MetricsRecorder::Options metrics{};
+  // Keep the full per-replicate SimResults in each cell (distribution
+  // comparisons, traces). Off: cells carry summary statistics only.
+  bool keep_results = false;
+  // Common random numbers across the noise axis: cells differing only in
+  // noise reuse the same per-replicate seeds, so noise sweeps (rho, the
+  // adversary gallery) become paired comparisons with reduced variance.
+  // Off: every cell gets independent seeds.
+  bool pair_noise_seeds = false;
+  // nullptr = the process-global pool.
+  ThreadPool* pool = nullptr;
+};
+
+// One (scenario, algo, noise) entry of the matrix.
+struct CampaignCell {
+  std::string scenario;  // scenario display label
+  std::string algo;
+  std::string noise;
+  Engine engine = Engine::kAggregate;  // the engine the cell resolved to
+  RunningStats regret;      // post-warmup average regret per replicate
+  RunningStats violations;  // band-violation rounds per replicate
+  double switches_per_ant_round = 0.0;  // mean over replicates
+  std::vector<SimResult> results;       // per replicate; empty unless kept
+};
+
+struct CampaignResult {
+  std::vector<CampaignCell> cells;  // scenario-major, then algo, then noise
+
+  // Tidy results: one row per cell with mean/ci95 regret, violations and
+  // switch rates. to_csv() is the same data as CSV.
+  Table table() const;
+  std::string to_csv() const;
+
+  // First cell matching the given labels (empty selector = any); nullptr if
+  // none. Benches use this to apply shape gates to specific cells.
+  const CampaignCell* find(const std::string& scenario,
+                           const std::string& algo = "",
+                           const std::string& noise = "") const;
+};
+
+// Runs the full matrix. Throws std::invalid_argument on an empty axis or on
+// a cell that cannot run (e.g. Engine::kAggregate forced for an agent-only
+// algorithm).
+CampaignResult run_campaign(const CampaignConfig& cfg);
+
+}  // namespace antalloc

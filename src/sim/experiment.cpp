@@ -4,56 +4,103 @@
 
 #include "agent/agent_sim.h"
 #include "aggregate/aggregate_sim.h"
-#include "core/allocation.h"
 #include "parallel/trial_runner.h"
+#include "rng/splitmix.h"
 
 namespace antalloc {
 namespace {
 
+// Substream tag separating initial-allocation randomness from the dynamics
+// stream: both derive from cfg.seed, but a "random" start must not reuse the
+// exact seed the engines consume for feedback/decision draws.
+constexpr std::uint64_t kInitialAllocationStream = 0xA110C;
+
 std::vector<Count> initial_loads(const ExperimentConfig& cfg,
-                                 std::int32_t k, std::uint64_t seed) {
-  const Allocation alloc =
-      make_initial_allocation(cfg.initial, cfg.n_ants, k, seed);
+                                 std::int32_t k) {
+  if (!cfg.initial_loads.empty()) {
+    if (static_cast<std::int32_t>(cfg.initial_loads.size()) != k) {
+      throw std::invalid_argument(
+          "run_experiment: initial_loads size does not match the schedule's "
+          "task count");
+    }
+    return cfg.initial_loads;
+  }
+  const Allocation alloc = make_initial_allocation(
+      cfg.initial, cfg.n_ants, k,
+      rng::hash_combine(cfg.seed, kInitialAllocationStream));
   return {alloc.loads().begin(), alloc.loads().end()};
 }
 
 }  // namespace
 
+Engine parse_engine(std::string_view name) {
+  if (name == "auto") return Engine::kAuto;
+  if (name == "aggregate") return Engine::kAggregate;
+  if (name == "agent") return Engine::kAgent;
+  throw std::invalid_argument("parse_engine: unknown engine '" +
+                              std::string(name) +
+                              "' (expected auto | aggregate | agent)");
+}
+
+std::string_view to_string(Engine engine) {
+  switch (engine) {
+    case Engine::kAuto: return "auto";
+    case Engine::kAggregate: return "aggregate";
+    case Engine::kAgent: return "agent";
+  }
+  return "?";
+}
+
+Engine resolve_engine(Engine engine, const AlgoConfig& algo,
+                      const FeedbackModel& fm) {
+  if (engine != Engine::kAuto) return engine;
+  if (!has_aggregate_kernel(algo.name)) return Engine::kAgent;
+  // Ask the kernel itself — supports() is the single source of truth for
+  // which models a kernel simulates exactly.
+  return make_aggregate_kernel(algo)->supports(fm) ? Engine::kAggregate
+                                                   : Engine::kAgent;
+}
+
 SimResult run_experiment(const ExperimentConfig& cfg, FeedbackModel& fm,
                          const DemandSchedule& schedule) {
   const std::int32_t k = schedule.num_tasks();
-  const auto loads = initial_loads(cfg, k, cfg.seed);
+  const auto loads = initial_loads(cfg, k);
 
   // Keep the regret-band gamma in sync with the algorithm's learning rate
   // unless the caller overrode it explicitly.
   MetricsRecorder::Options metrics = cfg.metrics;
   if (metrics.gamma <= 0.0) metrics.gamma = cfg.algo.gamma;
 
-  if (cfg.engine == "aggregate") {
-    auto kernel = make_aggregate_kernel(cfg.algo);
-    AggregateSimConfig sim{.n_ants = cfg.n_ants,
-                           .rounds = cfg.rounds,
-                           .seed = cfg.seed,
-                           .metrics = metrics,
-                           .initial_loads = loads};
-    return run_aggregate_sim(*kernel, fm, schedule, sim);
+  switch (resolve_engine(cfg.engine, cfg.algo, fm)) {
+    case Engine::kAggregate: {
+      auto kernel = make_aggregate_kernel(cfg.algo);
+      AggregateSimConfig sim{.n_ants = cfg.n_ants,
+                             .rounds = cfg.rounds,
+                             .seed = cfg.seed,
+                             .metrics = metrics,
+                             .initial_loads = loads};
+      return run_aggregate_sim(*kernel, fm, schedule, sim);
+    }
+    case Engine::kAgent: {
+      auto algo = make_agent_algorithm(cfg.algo);
+      AgentSimConfig sim{.n_ants = cfg.n_ants,
+                         .rounds = cfg.rounds,
+                         .seed = cfg.seed,
+                         .metrics = metrics,
+                         .initial_loads = loads};
+      return run_agent_sim(*algo, fm, schedule, sim);
+    }
+    case Engine::kAuto:
+      break;  // resolve_engine never returns kAuto
   }
-  if (cfg.engine == "agent") {
-    auto algo = make_agent_algorithm(cfg.algo);
-    AgentSimConfig sim{.n_ants = cfg.n_ants,
-                       .rounds = cfg.rounds,
-                       .seed = cfg.seed,
-                       .metrics = metrics,
-                       .initial_loads = loads};
-    return run_agent_sim(*algo, fm, schedule, sim);
-  }
-  throw std::invalid_argument("run_experiment: engine must be 'aggregate' or 'agent'");
+  throw std::logic_error("run_experiment: unresolved engine");
 }
 
 std::vector<SimResult> run_replicated_experiment(const ExperimentConfig& cfg,
                                                  const ModelFactory& make_model,
                                                  const DemandSchedule& schedule,
-                                                 std::int64_t replicates) {
+                                                 std::int64_t replicates,
+                                                 ThreadPool* pool) {
   return run_sim_trials(
       replicates, cfg.seed,
       [&](std::int64_t /*trial*/, std::uint64_t seed) {
@@ -61,7 +108,8 @@ std::vector<SimResult> run_replicated_experiment(const ExperimentConfig& cfg,
         trial_cfg.seed = seed;
         auto model = make_model();
         return run_experiment(trial_cfg, *model, schedule);
-      });
+      },
+      pool);
 }
 
 std::vector<double> extract_post_warmup_average(

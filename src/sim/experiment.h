@@ -7,41 +7,69 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "algo/registry.h"
+#include "core/allocation.h"
 #include "core/demand.h"
 #include "metrics/regret.h"
 
 namespace antalloc {
 
+class ThreadPool;
+
 // Builds a fresh noise-model instance per trial (models may be stateful).
 using ModelFactory = std::function<std::unique_ptr<FeedbackModel>()>;
 
+// Which engine executes a trial. kAuto resolves per run: the aggregate
+// kernel where it is sound (the algorithm has one, the noise is i.i.d.
+// across ants, and — for kernels that require it — deterministic), the
+// per-ant engine otherwise.
+enum class Engine { kAuto, kAggregate, kAgent };
+
+// Parses "auto" | "aggregate" | "agent"; throws std::invalid_argument
+// naming the valid engines otherwise. String inputs (CLI flags, configs)
+// are parsed once at this boundary; everything below works on the enum.
+Engine parse_engine(std::string_view name);
+std::string_view to_string(Engine engine);
+
 struct ExperimentConfig {
   AlgoConfig algo{};
-  // "aggregate" (exact count kernel; i.i.d. noise only) or "agent"
-  // (per-ant simulation; any noise).
-  std::string engine = "aggregate";
+  // kAggregate: exact count kernel (i.i.d. noise only). kAgent: per-ant
+  // simulation (any noise). kAuto: pick per run (see Engine).
+  Engine engine = Engine::kAggregate;
   Count n_ants = 1 << 14;
   Round rounds = 10'000;
   std::uint64_t seed = 1;
-  // Initial allocation kind: "idle", "uniform", "adversarial", "random"
-  // (see make_initial_allocation).
-  std::string initial = "idle";
+  // Initial allocation kind (see make_initial_allocation); ignored when
+  // initial_loads is non-empty.
+  InitialKind initial = InitialKind::kIdle;
+  // Explicit per-task starting loads (remaining ants idle). Overrides
+  // `initial` — for warm starts and bespoke hostile states.
+  std::vector<Count> initial_loads;
   MetricsRecorder::Options metrics{};
 };
+
+// The engine kAuto resolves to for this algorithm + noise model: the
+// aggregate kernel iff one exists and its supports(fm) predicate accepts
+// the model (i.i.d.-across-ants by default; deterministic-only for the
+// Precise Adversarial kernel).
+Engine resolve_engine(Engine engine, const AlgoConfig& algo,
+                      const FeedbackModel& fm);
 
 // Runs a single trial.
 SimResult run_experiment(const ExperimentConfig& cfg, FeedbackModel& fm,
                          const DemandSchedule& schedule);
 
 // Runs `replicates` independent trials in parallel (deterministic per-trial
-// seeds derived from cfg.seed).
+// seeds derived from cfg.seed, independent of thread count). `pool` selects
+// the thread pool; nullptr uses the process-global one.
 std::vector<SimResult> run_replicated_experiment(const ExperimentConfig& cfg,
                                                  const ModelFactory& make_model,
                                                  const DemandSchedule& schedule,
-                                                 std::int64_t replicates);
+                                                 std::int64_t replicates,
+                                                 ThreadPool* pool = nullptr);
 
 // Common scalar extractions over replicate sets.
 std::vector<double> extract_post_warmup_average(

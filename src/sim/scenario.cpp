@@ -1,7 +1,11 @@
 #include "sim/scenario.h"
 
+#include <algorithm>
 #include <cmath>
+#include <set>
 #include <stdexcept>
+
+#include "rng/xoshiro.h"
 
 namespace antalloc {
 namespace {
@@ -13,6 +17,348 @@ DemandVector scaled(const DemandVector& base, double factor) {
                                static_cast<double>(v) * factor)));
   }
   return DemandVector(std::move(d));
+}
+
+DemandVector scaled_per_task(const DemandVector& base,
+                             const std::vector<double>& factors) {
+  std::vector<Count> d(base.values().begin(), base.values().end());
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    d[j] = std::max<Count>(1, static_cast<Count>(std::llround(
+                                  static_cast<double>(d[j]) * factors[j])));
+  }
+  return DemandVector(std::move(d));
+}
+
+// Standard normal via Box-Muller (two uniforms per pair of draws; we only
+// keep one — scenario construction is not a hot path).
+double std_normal(rng::Xoshiro256& gen) {
+  const double u = std::max(gen.uniform(), 1e-12);
+  const double v = gen.uniform();
+  return std::sqrt(-2.0 * std::log(u)) * std::cos(6.283185307179586 * v);
+}
+
+// Family-param reader: records which keys the builder consumed so that
+// unknown keys (typos) throw instead of silently running defaults —
+// the same contract Args::check_unknown gives the CLI.
+class Params {
+ public:
+  explicit Params(const ScenarioSpec& spec) : spec_(spec) {}
+
+  double get(const std::string& key, double def) {
+    used_.insert(key);
+    const auto it = spec_.params.find(key);
+    return it == spec_.params.end() ? def : it->second;
+  }
+
+  void check_unknown() const {
+    for (const auto& [key, value] : spec_.params) {
+      if (!used_.contains(key)) {
+        throw std::invalid_argument("scenario '" + spec_.name +
+                                    "': unknown param '" + key + "'");
+      }
+    }
+  }
+
+ private:
+  const ScenarioSpec& spec_;
+  std::set<std::string> used_;
+};
+
+std::string fmt_num(double v) {
+  char buf[32];
+  if (v == std::floor(v) && std::abs(v) < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+// --- family builders -------------------------------------------------------
+// Each takes (params, base, horizon, spec) and returns the schedule plus a
+// display label; `initial` / `initial_loads` are filled in by make_scenario.
+
+struct Built {
+  std::string label;
+  DemandSchedule schedule;
+};
+
+Built build_constant(Params& p, const DemandVector& base, Round horizon,
+                     const ScenarioSpec& spec) {
+  (void)p;
+  (void)horizon;
+  (void)spec;
+  return {"constant", DemandSchedule(base)};
+}
+
+Built build_single_shock(Params& p, const DemandVector& base, Round horizon,
+                         const ScenarioSpec& spec) {
+  (void)spec;
+  const double at = p.get("at", 0.5);
+  const double factor = p.get("factor", 2.0);
+  const auto task = static_cast<TaskId>(p.get("task", 0.0));
+  if (task < 0 || task >= base.num_tasks()) {
+    throw std::invalid_argument("single-shock: task out of range");
+  }
+  const Round shock = std::max<Round>(
+      1, static_cast<Round>(static_cast<double>(horizon) * at));
+  return {"single-shock(x" + fmt_num(factor) + "@" + fmt_num(
+              static_cast<double>(shock)) + ",task" + fmt_num(task),
+          single_shock_schedule(base, shock, factor, task)};
+}
+
+Built build_staircase(Params& p, const DemandVector& base, Round horizon,
+                      const ScenarioSpec& spec) {
+  (void)spec;
+  const auto steps = static_cast<int>(p.get("steps", 4.0));
+  const double factor = p.get("factor", 1.3);
+  if (steps < 1) throw std::invalid_argument("staircase: steps >= 1");
+  if (factor <= 0.0) throw std::invalid_argument("staircase: factor > 0");
+  const Round period = static_cast<Round>(
+      p.get("period", static_cast<double>(horizon) /
+                          static_cast<double>(steps + 2)));
+  if (period < 1) throw std::invalid_argument("staircase: period >= 1");
+  return {"staircase(x" + fmt_num(factor) + ",steps=" + fmt_num(steps),
+          staircase_schedule(base, period, factor, steps)};
+}
+
+Built build_day_night(Params& p, const DemandVector& base, Round horizon,
+                      const ScenarioSpec& spec) {
+  (void)spec;
+  const Round period = static_cast<Round>(
+      p.get("period", static_cast<double>(horizon) / 4.0));
+  const double night_scale = p.get("night-scale", 0.6);
+  return {"day-night(period=" + fmt_num(static_cast<double>(period)) +
+              ",night=" + fmt_num(night_scale),
+          day_night_schedule(base, scaled(base, night_scale), period, horizon)};
+}
+
+Built build_mass_death(Params& p, const DemandVector& base, Round horizon,
+                       const ScenarioSpec& spec) {
+  (void)spec;
+  const double at = p.get("at", 0.5);
+  const double dead = p.get("dead", 0.3);
+  const Round shock = std::max<Round>(
+      1, static_cast<Round>(static_cast<double>(horizon) * at));
+  return {"mass-death(" + fmt_num(dead * 100.0) + "%@" +
+              fmt_num(static_cast<double>(shock)),
+          mass_death_schedule(base, shock, dead)};
+}
+
+// Correlated multi-task shocks: at each of `shocks` evenly spaced change
+// points every task's demand is rescaled by a one-factor log-normal draw,
+//   log f_j = sigma·(√rho·z₀ + √(1−rho)·z_j),
+// so `rho` interpolates between independent per-task shocks (0) and one
+// colony-wide shock hitting all tasks together (1). Marginals are identical
+// across rho — only the cross-task correlation changes, which is exactly the
+// axis under which algorithm rankings can invert (cf. Remark 3.4 and the
+// heavy-tailed-noise literature in PAPERS.md). Factors are clamped to keep
+// every segment feasible for a colony provisioned with 2x slack.
+Built build_correlated_shocks(Params& p, const DemandVector& base,
+                              Round horizon, const ScenarioSpec& spec) {
+  const auto shocks = static_cast<int>(p.get("shocks", 3.0));
+  const double rho = p.get("rho", 0.7);
+  const double sigma = p.get("sigma", 0.35);
+  if (shocks < 1) throw std::invalid_argument("correlated-shocks: shocks >= 1");
+  if (rho < 0.0 || rho > 1.0) {
+    throw std::invalid_argument("correlated-shocks: rho in [0, 1]");
+  }
+  // Evenly spaced shock rounds horizon·s/(shocks+1) are strictly increasing
+  // iff the horizon fits them; a shorter horizon would silently drop shocks.
+  if (horizon < static_cast<Round>(shocks) + 1) {
+    throw std::invalid_argument("correlated-shocks: horizon >= shocks + 1");
+  }
+  const auto k = static_cast<std::size_t>(base.num_tasks());
+  rng::Xoshiro256 gen(rng::hash_combine(spec.seed, 0xC0441));
+  DemandSchedule schedule(base);
+  for (int s = 1; s <= shocks; ++s) {
+    const Round at = horizon * s / (shocks + 1);
+    const double z0 = std_normal(gen);
+    std::vector<double> factors(k);
+    for (auto& f : factors) {
+      const double z = std::sqrt(rho) * z0 +
+                       std::sqrt(1.0 - rho) * std_normal(gen);
+      f = std::clamp(std::exp(sigma * z), 0.4, 2.2);
+    }
+    schedule.add_change(at, scaled_per_task(base, factors));
+  }
+  return {"correlated-shocks(rho=" + fmt_num(rho) + ",n=" + fmt_num(shocks),
+          std::move(schedule)};
+}
+
+// Demand ramp with per-task drift: task j grows linearly to
+// (1 + rise·(1 ± spread)) × base by the end of the horizon, with the drift
+// rates drawn once from the spec seed. Sampled every `stride` rounds.
+Built build_ramp_drift(Params& p, const DemandVector& base, Round horizon,
+                       const ScenarioSpec& spec) {
+  const double rise = p.get("rise", 0.8);
+  const double spread = p.get("spread", 0.5);
+  const Round stride = std::max<Round>(
+      1, static_cast<Round>(p.get("stride",
+                                  static_cast<double>(horizon) / 64.0)));
+  const auto k = static_cast<std::size_t>(base.num_tasks());
+  rng::Xoshiro256 gen(rng::hash_combine(spec.seed, 0x4A3B));
+  std::vector<double> slope(k);
+  for (auto& s : slope) {
+    s = rise * (1.0 + spread * (2.0 * gen.uniform() - 1.0));
+  }
+  auto at = [&, base](Round t) {
+    std::vector<double> factors(k);
+    const double frac =
+        static_cast<double>(t) / static_cast<double>(horizon);
+    for (std::size_t j = 0; j < k; ++j) factors[j] = 1.0 + slope[j] * frac;
+    return scaled_per_task(base, factors);
+  };
+  return {"ramp-drift(rise=" + fmt_num(rise) + ",spread=" + fmt_num(spread),
+          sampled_schedule(horizon, stride, at)};
+}
+
+// Sinusoidal/seasonal load: d_j(t) = base_j·(1 + amp·sin(2πt/period + φ_j))
+// with phases spread evenly over the tasks, so total demand stays roughly
+// constant while the mix rotates — the sustained-regime counterpart of the
+// day/night step function.
+Built build_seasonal(Params& p, const DemandVector& base, Round horizon,
+                     const ScenarioSpec& spec) {
+  (void)spec;
+  const Round period = std::max<Round>(
+      2, static_cast<Round>(p.get("period",
+                                  static_cast<double>(horizon) / 6.0)));
+  const double amp = p.get("amp", 0.3);
+  const Round stride = std::max<Round>(
+      1, static_cast<Round>(p.get("stride",
+                                  static_cast<double>(period) / 16.0)));
+  const auto k = static_cast<std::size_t>(base.num_tasks());
+  constexpr double kTwoPi = 6.283185307179586;
+  auto at = [&, base](Round t) {
+    std::vector<double> factors(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double phase = kTwoPi * static_cast<double>(j) /
+                           static_cast<double>(k);
+      factors[j] = 1.0 + amp * std::sin(kTwoPi * static_cast<double>(t) /
+                                            static_cast<double>(period) +
+                                        phase);
+    }
+    return scaled_per_task(base, factors);
+  };
+  return {"seasonal(period=" + fmt_num(static_cast<double>(period)) +
+              ",amp=" + fmt_num(amp),
+          sampled_schedule(horizon, stride, at)};
+}
+
+// Adversarial phase-targeting: every `phase` rounds, `swing` of task 0's
+// demand teleports to the last task and back. Set `phase` to the algorithm's
+// adaptation timescale (≈1/γ rounds for Algorithm Ant, an epoch for the
+// precise variants) and each flip lands exactly when the colony has just
+// re-converged — the schedule that maximizes time spent out of band.
+Built build_adversarial_phase(Params& p, const DemandVector& base,
+                              Round horizon, const ScenarioSpec& spec) {
+  (void)spec;
+  const Round phase = std::max<Round>(
+      1, static_cast<Round>(p.get("phase", 250.0)));
+  const double swing = p.get("swing", 0.5);
+  if (swing < 0.0 || swing > 1.0) {
+    throw std::invalid_argument("adversarial-phase: swing in [0, 1]");
+  }
+  const std::int32_t k = base.num_tasks();
+  DemandVector tilted = base;
+  if (k >= 2) {
+    std::vector<Count> d(base.values().begin(), base.values().end());
+    const Count moved = static_cast<Count>(
+        std::llround(static_cast<double>(d[0]) * swing));
+    d[0] -= moved;
+    d[static_cast<std::size_t>(k - 1)] += moved;
+    tilted = DemandVector(std::move(d));
+  } else {
+    tilted = scaled(base, 1.0 + swing);
+  }
+  return {"adversarial-phase(phase=" + fmt_num(static_cast<double>(phase)) +
+              ",swing=" + fmt_num(swing),
+          day_night_schedule(base, tilted, phase, horizon)};
+}
+
+// Colony growth followed by a mass-death event, expressed through the
+// demand-equivalence of population change: demands scale by N₀/N_t. The
+// colony grows by `growth` per epoch (demands slowly shrink), then at epoch
+// `death-epoch` a `death` fraction dies (demands jump by 1/(1−death)) and
+// growth resumes from the reduced population.
+Built build_growth_death(Params& p, const DemandVector& base, Round horizon,
+                         const ScenarioSpec& spec) {
+  (void)spec;
+  const auto epochs = static_cast<int>(p.get("epochs", 8.0));
+  const double growth = p.get("growth", 1.06);
+  const double death = p.get("death", 0.35);
+  const auto death_epoch = static_cast<int>(
+      p.get("death-epoch", static_cast<double>(epochs) / 2.0));
+  if (epochs < 2) throw std::invalid_argument("growth-death: epochs >= 2");
+  if (growth <= 0.0) throw std::invalid_argument("growth-death: growth > 0");
+  if (death < 0.0 || death >= 1.0) {
+    throw std::invalid_argument("growth-death: death in [0, 1)");
+  }
+  if (death_epoch < 1 || death_epoch >= epochs) {
+    throw std::invalid_argument(
+        "growth-death: death-epoch in [1, epochs-1] (an out-of-range value "
+        "would silently drop the death event)");
+  }
+  // Epoch boundaries horizon·e/epochs are strictly increasing iff the
+  // horizon fits them; a shorter horizon would silently merge epochs.
+  if (horizon < static_cast<Round>(epochs)) {
+    throw std::invalid_argument("growth-death: horizon >= epochs");
+  }
+  DemandSchedule schedule(base);
+  double population = 1.0;  // relative to N₀
+  for (int e = 1; e < epochs; ++e) {
+    population *= growth;
+    if (e == death_epoch) population *= 1.0 - death;
+    schedule.add_change(horizon * e / epochs, scaled(base, 1.0 / population));
+  }
+  return {"growth-death(growth=" + fmt_num(growth) + ",death=" +
+              fmt_num(death * 100.0) + "%",
+          std::move(schedule)};
+}
+
+struct Family {
+  const char* name;
+  const char* description;
+  Built (*build)(Params&, const DemandVector&, Round, const ScenarioSpec&);
+};
+
+// Registration order is the order scenario_names() reports and the matrix
+// tests iterate. Add new families here (see docs/ARCHITECTURE.md for the
+// recipe).
+constexpr Family kFamilies[] = {
+    {"constant", "fixed demands (the paper's base model)", build_constant},
+    {"single-shock", "one task's demand jumps by `factor` at `at`·horizon",
+     build_single_shock},
+    {"staircase", "all demands rescale by `factor` every `period` rounds",
+     build_staircase},
+    {"day-night", "demands flip between base and night-scale·base",
+     build_day_night},
+    {"mass-death", "`dead` fraction of the colony dies at `at`·horizon",
+     build_mass_death},
+    {"correlated-shocks",
+     "evenly spaced one-factor log-normal shocks across tasks (rho-correlated)",
+     build_correlated_shocks},
+    {"ramp-drift", "linear demand growth with per-task drift rates",
+     build_ramp_drift},
+    {"seasonal", "sinusoidal demand rotation with per-task phases",
+     build_seasonal},
+    {"adversarial-phase",
+     "demand mass teleports between tasks every `phase` rounds",
+     build_adversarial_phase},
+    {"growth-death", "colony growth epochs with one mass-death event",
+     build_growth_death},
+};
+
+const Family& find_family(const std::string& name) {
+  for (const auto& family : kFamilies) {
+    if (name == family.name) return family;
+  }
+  std::string known;
+  for (const auto& family : kFamilies) {
+    known += known.empty() ? family.name : std::string(" | ") + family.name;
+  }
+  throw std::invalid_argument("unknown scenario '" + name + "' (expected " +
+                              known + ")");
 }
 
 }  // namespace
@@ -31,11 +377,13 @@ DemandSchedule day_night_schedule(const DemandVector& day,
 }
 
 DemandSchedule single_shock_schedule(const DemandVector& base,
-                                     Round shock_round, double factor) {
+                                     Round shock_round, double factor,
+                                     TaskId task) {
   DemandSchedule schedule(base);
   std::vector<Count> d(base.values().begin(), base.values().end());
-  d[0] = std::max<Count>(1, static_cast<Count>(std::llround(
-                                static_cast<double>(d[0]) * factor)));
+  auto& v = d[static_cast<std::size_t>(task)];
+  v = std::max<Count>(1, static_cast<Count>(std::llround(
+                             static_cast<double>(v) * factor)));
   schedule.add_change(shock_round, DemandVector(std::move(d)));
   return schedule;
 }
@@ -61,27 +409,93 @@ DemandSchedule mass_death_schedule(const DemandVector& base, Round shock_round,
   return schedule;
 }
 
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const auto& family : kFamilies) names.emplace_back(family.name);
+  return names;
+}
+
+bool has_scenario(const std::string& name) {
+  for (const auto& family : kFamilies) {
+    if (name == family.name) return true;
+  }
+  return false;
+}
+
+std::string_view scenario_description(const std::string& name) {
+  return find_family(name).description;
+}
+
+Scenario make_scenario(const ScenarioSpec& spec, const DemandVector& base,
+                       Round horizon) {
+  if (horizon <= 0) throw std::invalid_argument("make_scenario: horizon > 0");
+  const Family& family = find_family(spec.name);
+  Params params(spec);
+  Built built = family.build(params, base, horizon, spec);
+  params.check_unknown();
+  // A change point at or beyond the horizon would never fire — params that
+  // push events out of the run must fail loudly, not degrade silently.
+  if (built.schedule.last_change() >= horizon) {
+    throw std::invalid_argument(
+        "scenario '" + spec.name + "': last change point (round " +
+        std::to_string(built.schedule.last_change()) +
+        ") lands at/past the horizon (" + std::to_string(horizon) +
+        "); shrink period/at/phase params or extend the horizon");
+  }
+  std::string label = std::move(built.label);
+  if (label.find('(') != std::string::npos) label += ")";
+  return Scenario{.name = std::move(label),
+                  .family = spec.name,
+                  .schedule = std::move(built.schedule),
+                  .initial = spec.initial,
+                  .initial_loads = {}};
+}
+
+std::vector<Scenario> registry_scenarios(const DemandVector& base,
+                                         Round horizon, std::uint64_t seed) {
+  std::vector<Scenario> scenarios;
+  for (const auto& family : kFamilies) {
+    ScenarioSpec spec;
+    spec.name = family.name;
+    spec.seed = seed;
+    spec.initial = InitialKind::kUniform;
+    scenarios.push_back(make_scenario(spec, base, horizon));
+  }
+  return scenarios;
+}
+
 std::vector<Scenario> standard_scenarios(const DemandVector& base,
                                          Round horizon) {
+  // The E6 suite: three hostile starts on constant demands, then the classic
+  // shock set. Labels are stable — bench_selfstab_shocks' tables key on them.
   std::vector<Scenario> scenarios;
-  scenarios.push_back(
-      {"cold-start(idle)", DemandSchedule(base), "idle"});
-  scenarios.push_back(
-      {"hostile-start(all-on-task0)", DemandSchedule(base), "adversarial"});
-  scenarios.push_back(
-      {"random-start", DemandSchedule(base), "random"});
-  scenarios.push_back({"demand-spike(x2@mid)",
-                       single_shock_schedule(base, horizon / 2, 2.0),
-                       "uniform"});
-  scenarios.push_back({"demand-drop(x0.5@mid)",
-                       single_shock_schedule(base, horizon / 2, 0.5),
-                       "uniform"});
-  scenarios.push_back({"mass-death(30%@mid)",
-                       mass_death_schedule(base, horizon / 2, 0.3), "uniform"});
-  scenarios.push_back({"day-night(flip@quarter)",
-                       day_night_schedule(base, scaled(base, 0.6), horizon / 4,
-                                          horizon),
-                       "uniform"});
+  auto add = [&](ScenarioSpec spec, std::string label) {
+    Scenario sc = make_scenario(spec, base, horizon);
+    sc.name = std::move(label);
+    scenarios.push_back(std::move(sc));
+  };
+  add({.name = "constant", .params = {}, .initial = InitialKind::kIdle},
+      "cold-start(idle)");
+  add({.name = "constant", .params = {}, .initial = InitialKind::kAdversarial},
+      "hostile-start(all-on-task0)");
+  add({.name = "constant", .params = {}, .initial = InitialKind::kRandom},
+      "random-start");
+  add({.name = "single-shock",
+       .params = {{"factor", 2.0}},
+       .initial = InitialKind::kUniform},
+      "demand-spike(x2@mid)");
+  add({.name = "single-shock",
+       .params = {{"factor", 0.5}},
+       .initial = InitialKind::kUniform},
+      "demand-drop(x0.5@mid)");
+  add({.name = "mass-death",
+       .params = {{"dead", 0.3}},
+       .initial = InitialKind::kUniform},
+      "mass-death(30%@mid)");
+  add({.name = "day-night",
+       .params = {{"night-scale", 0.6}},
+       .initial = InitialKind::kUniform},
+      "day-night(flip@quarter)");
   return scenarios;
 }
 

@@ -1,15 +1,78 @@
-// Pre-built self-stabilization scenarios (demand schedules + hostile
-// starting allocations). The paper's algorithms are self-stabilizing, so
-// after any shock the deficits must re-enter the 5γ·d band; these scenarios
-// drive bench E6 and the dynamic examples.
+// Scenario registry: demand trajectories + starting allocations as
+// first-class, name-constructible objects, mirroring the algorithm registry
+// in src/algo/registry.h.
+//
+// The paper's central claim is self-stabilization — after any demand shock
+// the deficits re-enter the 5γ·d band — so the scenario zoo is the other
+// half of every experiment matrix. A scenario family is registered under a
+// name ("single-shock", "seasonal", …); `make_scenario` instantiates it from
+// a ScenarioSpec (name + numeric params + initial allocation) against a base
+// demand vector and horizon. Benches, examples, the CLI and the campaign
+// runner (src/sim/campaign.h) pick scenarios up by name with no further
+// wiring, exactly like algorithms.
+//
+// Adding a scenario family = write a builder in scenario.cpp, add one row to
+// the family table, and it is automatically covered by scenario_test,
+// engine_equivalence_test and the CLI's campaign mode.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/allocation.h"
 #include "core/demand.h"
 
 namespace antalloc {
+
+// A request for one scenario instance. `params` holds family-specific knobs
+// (all doubles; defaults apply for missing keys, unknown keys throw so typos
+// do not silently run defaults). Stochastic families (correlated-shocks,
+// ramp-drift) derive their draws from `seed` only — the same spec always
+// builds the same schedule.
+struct ScenarioSpec {
+  std::string name;                      // registered family name
+  std::map<std::string, double> params;  // family-specific knobs
+  InitialKind initial = InitialKind::kIdle;
+  std::uint64_t seed = 1;
+};
+
+// An instantiated scenario: a demand trajectory plus the starting state.
+struct Scenario {
+  std::string name;    // display label (family + key params)
+  std::string family;  // registered family name
+  DemandSchedule schedule;
+  InitialKind initial = InitialKind::kIdle;
+  // Optional explicit per-task starting loads (warm starts); overrides
+  // `initial` when non-empty.
+  std::vector<Count> initial_loads;
+};
+
+// Registered family names, in registration order.
+std::vector<std::string> scenario_names();
+bool has_scenario(const std::string& name);
+
+// One-line description of a family (for CLI help); throws on unknown names.
+std::string_view scenario_description(const std::string& name);
+
+// Instantiates `spec` against `base` demands over `horizon` rounds. Throws
+// std::invalid_argument for unknown family names and unknown param keys.
+Scenario make_scenario(const ScenarioSpec& spec, const DemandVector& base,
+                       Round horizon);
+
+// One instance of every registered family with default params (the matrix
+// tests and the CLI campaign mode iterate this).
+std::vector<Scenario> registry_scenarios(const DemandVector& base,
+                                         Round horizon, std::uint64_t seed = 1);
+
+// The standard scenario suite used by bench E6 (hostile starts + the
+// classic shock set), built through the registry.
+std::vector<Scenario> standard_scenarios(const DemandVector& base,
+                                         Round horizon);
+
+// Schedule builders shared by the registry and direct callers. ------------
 
 // Day/night alternation: demands flip between `day` and `night` every
 // `period` rounds (phase-aligned shocks; `day` first).
@@ -17,10 +80,11 @@ DemandSchedule day_night_schedule(const DemandVector& day,
                                   const DemandVector& night, Round period,
                                   Round horizon);
 
-// Single shock: `base` until round `shock_round`, then task 0's demand is
-// multiplied by `factor` (others unchanged).
+// Single shock: `base` until round `shock_round`, then task `task`'s demand
+// is multiplied by `factor` (others unchanged).
 DemandSchedule single_shock_schedule(const DemandVector& base,
-                                     Round shock_round, double factor);
+                                     Round shock_round, double factor,
+                                     TaskId task = 0);
 
 // Staircase: every `period` rounds the demands of all tasks are scaled by
 // `step_factor` (compounding), for `steps` steps.
@@ -32,15 +96,5 @@ DemandSchedule staircase_schedule(const DemandVector& base, Round period,
 // returns the equivalent demand schedule with the shock at `shock_round`.
 DemandSchedule mass_death_schedule(const DemandVector& base, Round shock_round,
                                    double dead_fraction);
-
-struct Scenario {
-  std::string name;
-  DemandSchedule schedule;
-  std::string initial;  // initial-allocation kind
-};
-
-// The standard scenario suite used by bench E6.
-std::vector<Scenario> standard_scenarios(const DemandVector& base,
-                                         Round horizon);
 
 }  // namespace antalloc

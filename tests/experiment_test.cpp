@@ -2,6 +2,7 @@
 // deterministic seeding, and the extraction helpers.
 #include <gtest/gtest.h>
 
+#include "noise/correlated.h"
 #include "noise/sigmoid.h"
 #include "sim/experiment.h"
 
@@ -31,7 +32,7 @@ TEST(Experiment, AggregateEngineRuns) {
 
 TEST(Experiment, AgentEngineRuns) {
   auto cfg = base_config();
-  cfg.engine = "agent";
+  cfg.engine = Engine::kAgent;
   cfg.n_ants = 400;
   SigmoidFeedback fm(1.0);
   const DemandSchedule schedule(uniform_demands(2, 80));
@@ -39,17 +40,78 @@ TEST(Experiment, AgentEngineRuns) {
   EXPECT_EQ(res.rounds, 1000);
 }
 
-TEST(Experiment, UnknownEngineThrows) {
+TEST(Experiment, EngineParsingAtTheBoundary) {
+  EXPECT_EQ(parse_engine("auto"), Engine::kAuto);
+  EXPECT_EQ(parse_engine("aggregate"), Engine::kAggregate);
+  EXPECT_EQ(parse_engine("agent"), Engine::kAgent);
+  EXPECT_THROW(parse_engine("quantum"), std::invalid_argument);
+  EXPECT_EQ(to_string(Engine::kAgent), "agent");
+
+  EXPECT_EQ(parse_initial_kind("idle"), InitialKind::kIdle);
+  EXPECT_EQ(parse_initial_kind("random"), InitialKind::kRandom);
+  EXPECT_THROW(parse_initial_kind("warm"), std::invalid_argument);
+  for (const auto& name : initial_kind_names()) {
+    EXPECT_EQ(to_string(parse_initial_kind(name)), name);
+  }
+}
+
+TEST(Experiment, AutoEngineResolution) {
+  const SigmoidFeedback sigmoid(1.0);
+  const CorrelatedFeedback correlated(std::make_shared<SigmoidFeedback>(1.0),
+                                      0.5);
+  const AlgoConfig ant{.name = "ant"};
+  // i.i.d. noise + a kernel-backed algorithm: the exact aggregate kernel.
+  EXPECT_EQ(resolve_engine(Engine::kAuto, ant, sigmoid), Engine::kAggregate);
+  // Correlated noise is not i.i.d. across ants: per-ant simulation.
+  EXPECT_EQ(resolve_engine(Engine::kAuto, ant, correlated), Engine::kAgent);
+  // The response-threshold baseline has no aggregate kernel.
+  EXPECT_EQ(resolve_engine(Engine::kAuto, AlgoConfig{.name = "threshold"},
+                           sigmoid),
+            Engine::kAgent);
+  // The Precise Adversarial kernel is exact only for deterministic feedback
+  // (its supports() predicate rejects stochastic models).
+  EXPECT_EQ(resolve_engine(Engine::kAuto,
+                           AlgoConfig{.name = "precise-adversarial"}, sigmoid),
+            Engine::kAgent);
+  // Explicit choices pass through untouched.
+  EXPECT_EQ(resolve_engine(Engine::kAgent, ant, sigmoid), Engine::kAgent);
+}
+
+TEST(Experiment, InitialLoadsOverrideKind) {
   auto cfg = base_config();
-  cfg.engine = "quantum";
+  cfg.initial = InitialKind::kAdversarial;   // overridden by explicit loads
+  cfg.initial_loads = {Count{800}, Count{800}};
+  cfg.rounds = 1;
+  cfg.metrics.warmup = 0;
   SigmoidFeedback fm(1.0);
-  const DemandSchedule schedule(uniform_demands(1, 100));
+  const DemandSchedule schedule(uniform_demands(2, 800));
+  // A warm start exactly on the demands: first-round regret stays far below
+  // the adversarial start's ~|800-4000| + 800.
+  const auto res = run_experiment(cfg, fm, schedule);
+  EXPECT_LT(res.total_regret, 2000.0);
+
+  cfg.initial_loads = {Count{1}};  // wrong task count
   EXPECT_THROW(run_experiment(cfg, fm, schedule), std::invalid_argument);
+}
+
+TEST(Experiment, RandomInitialStateIsSeedDeterministic) {
+  auto cfg = base_config();
+  cfg.initial = InitialKind::kRandom;
+  cfg.rounds = 1;
+  cfg.metrics.warmup = 0;
+  SigmoidFeedback fm(1.0);
+  const DemandSchedule schedule(uniform_demands(2, 800));
+  const auto a = run_experiment(cfg, fm, schedule);
+  const auto b = run_experiment(cfg, fm, schedule);
+  EXPECT_DOUBLE_EQ(a.total_regret, b.total_regret);
+  cfg.seed = cfg.seed + 1;
+  const auto c = run_experiment(cfg, fm, schedule);
+  EXPECT_NE(a.total_regret, c.total_regret);
 }
 
 TEST(Experiment, InitialAllocationKindRespected) {
   auto cfg = base_config();
-  cfg.initial = "adversarial";
+  cfg.initial = InitialKind::kAdversarial;
   cfg.rounds = 1;  // one round: hostile start still visible in regret
   cfg.metrics.warmup = 0;
   SigmoidFeedback fm(1.0);

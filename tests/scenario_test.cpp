@@ -1,4 +1,10 @@
+// Scenario builders + the scenario registry: every registered family must be
+// constructible by name, preserve the task count, keep all segments feasible
+// for a colony with modest slack, and place its change points inside the
+// horizon. Stochastic families must be pure functions of the spec seed.
 #include <gtest/gtest.h>
+
+#include <set>
 
 #include "sim/scenario.h"
 
@@ -17,13 +23,17 @@ TEST(Scenario, DayNightFlips) {
   EXPECT_THROW(day_night_schedule(day, night, 0, 100), std::invalid_argument);
 }
 
-TEST(Scenario, SingleShockMultipliesTask0Only) {
+TEST(Scenario, SingleShockMultipliesChosenTaskOnly) {
   const auto base = uniform_demands(3, 100);
   const auto s = single_shock_schedule(base, 500, 2.0);
   EXPECT_EQ(s.demands_at(499)[0], 100);
   EXPECT_EQ(s.demands_at(500)[0], 200);
   EXPECT_EQ(s.demands_at(500)[1], 100);
   EXPECT_EQ(s.demands_at(500)[2], 100);
+
+  const auto s2 = single_shock_schedule(base, 500, 3.0, /*task=*/2);
+  EXPECT_EQ(s2.demands_at(500)[0], 100);
+  EXPECT_EQ(s2.demands_at(500)[2], 300);
 }
 
 TEST(Scenario, StaircaseCompounds) {
@@ -49,11 +59,178 @@ TEST(Scenario, StandardSuiteIsWellFormed) {
   EXPECT_GE(scenarios.size(), 6u);
   for (const auto& sc : scenarios) {
     EXPECT_FALSE(sc.name.empty());
+    EXPECT_TRUE(has_scenario(sc.family)) << sc.name;
     EXPECT_EQ(sc.schedule.num_tasks(), 4);
-    EXPECT_FALSE(sc.initial.empty());
     // Every scenario must remain feasible for a colony with 2x slack.
     EXPECT_LE(sc.schedule.max_total(), 2 * base.total() * 2);
   }
+}
+
+// --- the registry ----------------------------------------------------------
+
+TEST(ScenarioRegistry, ListsAtLeastNineFamilies) {
+  const auto names = scenario_names();
+  EXPECT_GE(names.size(), 9u);
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size()) << "duplicate family names";
+  // The migrated classics and the new process families are all present.
+  for (const char* expected :
+       {"constant", "single-shock", "staircase", "day-night", "mass-death",
+        "correlated-shocks", "ramp-drift", "seasonal", "adversarial-phase",
+        "growth-death"}) {
+    EXPECT_TRUE(unique.contains(expected)) << expected;
+  }
+}
+
+TEST(ScenarioRegistry, EveryFamilyConstructsWellFormed) {
+  const auto base = uniform_demands(4, 300);
+  const Round horizon = 8000;
+  for (const auto& name : scenario_names()) {
+    SCOPED_TRACE(name);
+    EXPECT_TRUE(has_scenario(name));
+    EXPECT_FALSE(scenario_description(name).empty());
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.seed = 42;
+    const Scenario sc = make_scenario(spec, base, horizon);
+    EXPECT_FALSE(sc.name.empty());
+    EXPECT_EQ(sc.family, name);
+    // Change points never alter the task count and stay inside the horizon.
+    EXPECT_EQ(sc.schedule.num_tasks(), base.num_tasks());
+    EXPECT_LT(sc.schedule.last_change(), horizon);
+    // Demands stay feasible for a colony provisioned with 3x base slack and
+    // never degenerate to zero.
+    EXPECT_LE(sc.schedule.max_total(), 3 * base.total());
+    for (Round t = 0; t < horizon; t += horizon / 37) {
+      EXPECT_GE(sc.schedule.demands_at(t).min_demand(), 1);
+    }
+  }
+}
+
+TEST(ScenarioRegistry, DynamicFamiliesActuallyChange) {
+  const auto base = uniform_demands(3, 500);
+  for (const auto& name : scenario_names()) {
+    if (name == "constant") continue;
+    SCOPED_TRACE(name);
+    ScenarioSpec spec;
+    spec.name = name;
+    const Scenario sc = make_scenario(spec, base, 8000);
+    EXPECT_GE(sc.schedule.num_changes(), 1) << "schedule never changes";
+  }
+}
+
+TEST(ScenarioRegistry, UnknownNamesAndParamsThrow) {
+  const auto base = uniform_demands(2, 100);
+  ScenarioSpec spec;
+  spec.name = "lunar-eclipse";
+  EXPECT_THROW(make_scenario(spec, base, 1000), std::invalid_argument);
+
+  spec.name = "single-shock";
+  spec.params = {{"factr", 2.0}};  // typo must not silently run defaults
+  EXPECT_THROW(make_scenario(spec, base, 1000), std::invalid_argument);
+  spec.params = {{"factor", 2.0}};
+  EXPECT_NO_THROW(make_scenario(spec, base, 1000));
+
+  spec.name = "staircase";
+  spec.params = {{"steps", -2.0}};  // would divide by zero deriving period
+  EXPECT_THROW(make_scenario(spec, base, 1000), std::invalid_argument);
+  spec.params = {{"factor", 0.0}};
+  EXPECT_THROW(make_scenario(spec, base, 1000), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, ParamsSteerTheSchedule) {
+  const auto base = uniform_demands(2, 1000);
+  ScenarioSpec spec;
+  spec.name = "single-shock";
+  spec.params = {{"factor", 3.0}, {"at", 0.25}, {"task", 1.0}};
+  const Scenario sc = make_scenario(spec, base, 1000);
+  EXPECT_EQ(sc.schedule.demands_at(249)[1], 1000);
+  EXPECT_EQ(sc.schedule.demands_at(250)[1], 3000);
+  EXPECT_EQ(sc.schedule.demands_at(250)[0], 1000);
+
+  ScenarioSpec phase_spec;
+  phase_spec.name = "adversarial-phase";
+  phase_spec.params = {{"phase", 100.0}, {"swing", 0.5}};
+  const Scenario ph = make_scenario(phase_spec, base, 1000);
+  // Every `phase` rounds half of task 0's demand teleports to the last task.
+  EXPECT_EQ(ph.schedule.demands_at(99)[0], 1000);
+  EXPECT_EQ(ph.schedule.demands_at(100)[0], 500);
+  EXPECT_EQ(ph.schedule.demands_at(100)[1], 1500);
+  EXPECT_EQ(ph.schedule.demands_at(200)[0], 1000);
+  // Total demand is conserved across flips.
+  EXPECT_EQ(ph.schedule.max_total(), base.total());
+}
+
+TEST(ScenarioRegistry, StochasticFamiliesAreSeedPure) {
+  const auto base = uniform_demands(3, 400);
+  for (const char* name : {"correlated-shocks", "ramp-drift"}) {
+    SCOPED_TRACE(name);
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.seed = 7;
+    const Scenario a = make_scenario(spec, base, 6000);
+    const Scenario b = make_scenario(spec, base, 6000);
+    ASSERT_EQ(a.schedule.num_changes(), b.schedule.num_changes());
+    bool any_diff = false;
+    for (Round t = 0; t < 6000; t += 100) {
+      for (TaskId j = 0; j < 3; ++j) {
+        EXPECT_EQ(a.schedule.demands_at(t)[j], b.schedule.demands_at(t)[j]);
+      }
+    }
+    spec.seed = 8;
+    const Scenario c = make_scenario(spec, base, 6000);
+    for (Round t = 0; t < 6000; t += 100) {
+      for (TaskId j = 0; j < 3; ++j) {
+        any_diff |= a.schedule.demands_at(t)[j] != c.schedule.demands_at(t)[j];
+      }
+    }
+    EXPECT_TRUE(any_diff) << "seed does not steer the process";
+  }
+}
+
+TEST(ScenarioRegistry, RegistryScenariosCoverEveryFamily) {
+  const auto base = uniform_demands(4, 250);
+  const auto scenarios = registry_scenarios(base, 5000, /*seed=*/3);
+  ASSERT_EQ(scenarios.size(), scenario_names().size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(scenarios[i].family, scenario_names()[i]);
+  }
+}
+
+TEST(ScenarioRegistry, SeasonalConservesApproximateTotal) {
+  const auto base = uniform_demands(4, 1000);
+  ScenarioSpec spec;
+  spec.name = "seasonal";
+  spec.params = {{"amp", 0.3}};
+  const Scenario sc = make_scenario(spec, base, 6000);
+  // Phases are spread evenly, so the rotating mix keeps the total within
+  // ~amp/2 of the base total at every sampled point.
+  for (Round t = 0; t < 6000; t += 37) {
+    const double total =
+        static_cast<double>(sc.schedule.demands_at(t).total());
+    EXPECT_NEAR(total, static_cast<double>(base.total()),
+                0.2 * static_cast<double>(base.total()));
+  }
+}
+
+TEST(ScenarioRegistry, GrowthDeathShrinksThenJumps) {
+  const auto base = uniform_demands(2, 1000);
+  ScenarioSpec spec;
+  spec.name = "growth-death";
+  spec.params = {{"epochs", 8.0}, {"growth", 1.1}, {"death", 0.4},
+                 {"death-epoch", 4.0}};
+  const Scenario sc = make_scenario(spec, base, 8000);
+  // Growth epochs: demand-equivalent shrinks below base.
+  EXPECT_LT(sc.schedule.demands_at(3500)[0], 1000);
+  // The death event pushes the equivalent demand above the pre-death level.
+  EXPECT_GT(sc.schedule.demands_at(4500)[0], sc.schedule.demands_at(3500)[0]);
+
+  // A death epoch outside [1, epochs-1] would silently drop the death event
+  // this family exists to model, so it must throw instead.
+  spec.params["death-epoch"] = 9.0;
+  EXPECT_THROW(make_scenario(spec, base, 8000), std::invalid_argument);
+  spec.params["death-epoch"] = 0.0;
+  EXPECT_THROW(make_scenario(spec, base, 8000), std::invalid_argument);
 }
 
 }  // namespace
