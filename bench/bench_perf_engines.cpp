@@ -9,17 +9,14 @@
 // to prove speedups (see bench/baselines/README.md).
 #include <benchmark/benchmark.h>
 
-#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <string>
-#include <thread>
-
-#include <sys/utsname.h>
 
 #include "aggregate/aggregate_sim.h"
 #include "agent/agent_sim.h"
 #include "algo/ant.h"
+#include "common.h"
 #include "algo/precise_sigmoid.h"
 #include "noise/sigmoid.h"
 #include "rng/binomial.h"
@@ -104,21 +101,6 @@ void BM_AgentAntRound(benchmark::State& state) {
 }
 BENCHMARK(BM_AgentAntRound)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
 
-// "<os>-<arch>-<N>t", e.g. "linux-x86_64-8t": enough to tell two baseline
-// environments apart without leaking hostnames into checked-in CSVs.
-std::string machine_profile() {
-  std::string os = "unknown";
-  std::string arch = "unknown";
-  utsname uts{};
-  if (uname(&uts) == 0) {
-    os = uts.sysname;
-    arch = uts.machine;
-    for (auto& c : os) c = static_cast<char>(std::tolower(c));
-  }
-  return os + "-" + arch + "-" +
-         std::to_string(std::thread::hardware_concurrency()) + "t";
-}
-
 // Minimal CSV reporter (the library's own CSVReporter is deprecated): one
 // row per benchmark with the metrics baseline diffs need. Rows are buffered
 // and the file is written only in Finalize, and only when at least one
@@ -198,7 +180,7 @@ class TeeReporter : public benchmark::BenchmarkReporter {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  const std::string profile = machine_profile();
+  const std::string profile = bench::machine_profile();
   benchmark::AddCustomContext("machine_profile", profile);
   const std::string csv_path = "bench_perf_engines." + profile + ".csv";
   BaselineCsvReporter csv(csv_path, profile);

@@ -48,17 +48,58 @@ SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
   std::vector<double> deficits(static_cast<std::size_t>(k), 0.0);
   rng::Xoshiro256 model_gen(rng::hash_combine(cfg.seed, 0xBEEFull));
 
+  // Task lifecycle: the engine starts from the all-active assumption the
+  // initial allocation was built under, and applies retire transitions at
+  // every segment boundary where the active set changes (including round 1,
+  // which flushes initial loads placed on tasks that are dormant from the
+  // start). The flush is deterministic: workers of a dying task go straight
+  // to kIdle.
+  const bool lifecycle = schedule.has_lifecycle();
+  ActiveSet current_active = ActiveSet::all(k);
+  std::uint64_t active_mask = current_active.mask64();
+  std::size_t prev_segment = static_cast<std::size_t>(-1);
+
   for (Round t = 1; t <= cfg.rounds; ++t) {
-    const DemandVector& demands = schedule.demands_at(t);
-    // Feedback in round t reflects the loads at time t-1.
+    // One segment lookup per round serves both the demands and (on segment
+    // changes only) the active set.
+    const std::size_t segment = schedule.segment_index_at(t);
+    const DemandVector& demands = schedule.segment_demands(segment);
+    if (lifecycle && segment != prev_segment) {
+      const ActiveSet& active = schedule.segment_active(segment);
+      if (active != current_active) {
+        // The retirement flush is its own switch event, counted here; the
+        // post-step diff below runs against the post-flush snapshot. An ant
+        // that is flushed and immediately re-recruited therefore counts
+        // twice (task -> idle -> task), the same convention the aggregate
+        // kernels' apply_lifecycle + join accounting produces.
+        std::int64_t flushed = 0;
+        for (auto& a : assignment) {
+          if (a != kIdle && !active[a]) {
+            a = kIdle;
+            ++flushed;
+          }
+        }
+        recorder.add_switches(flushed);
+        algo.on_lifecycle(t, active);
+        current_active = active;
+        active_mask = current_active.mask64();
+      }
+    }
+    prev_segment = segment;
+    prev_assignment = assignment;
+    // Feedback in round t reflects the loads at time t-1; dormant tasks are
+    // outside the problem, so their deficit is pinned to zero (their
+    // feedback is unconditionally overload regardless).
     for (std::int32_t j = 0; j < k; ++j) {
       const auto ju = static_cast<std::size_t>(j);
-      deficits[ju] = static_cast<double>(demands[j] - loads[ju]);
+      deficits[ju] = ((active_mask >> j) & 1)
+                         ? static_cast<double>(demands[j] - loads[ju])
+                         : 0.0;
     }
     fm.begin_round(t, deficits, demands.values(), model_gen);
-    const FeedbackAccess fb(fm, t, deficits, demands.values(), cfg.seed);
+    const FeedbackAccess fb(fm, t, deficits, demands.values(), cfg.seed,
+                            active_mask);
 
-    prev_assignment = assignment;
     algo.step(t, fb, assignment);
 
     // Recompute loads and count exact switches.

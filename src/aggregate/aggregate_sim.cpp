@@ -27,8 +27,30 @@ SimResult run_aggregate_sim(AggregateKernel& kernel, const FeedbackModel& fm,
 
   MetricsRecorder recorder(k, cfg.n_ants, cfg.metrics);
   AggregateKernel::RoundOutput out{};
+
+  // Task lifecycle: mirror the agent engine — start from the all-active
+  // assumption the initial allocation was built under and hand the kernel a
+  // retire/activate transition at every boundary where the active set
+  // changes (including round 1 for schedules whose first segment already
+  // has dormant tasks). The kernel returns the flushed visible workers,
+  // which are exactly the assignment changes the agent engine's diff counts.
+  const bool lifecycle = schedule.has_lifecycle();
+  ActiveSet current_active = ActiveSet::all(k);
+  std::size_t prev_segment = static_cast<std::size_t>(-1);
+
   for (Round t = 1; t <= cfg.rounds; ++t) {
-    const DemandVector& demands = schedule.demands_at(t);
+    // One segment lookup per round serves both the demands and (on segment
+    // changes only) the active set.
+    const std::size_t segment = schedule.segment_index_at(t);
+    const DemandVector& demands = schedule.segment_demands(segment);
+    if (lifecycle && segment != prev_segment) {
+      const ActiveSet& active = schedule.segment_active(segment);
+      if (active != current_active) {
+        recorder.add_switches(kernel.apply_lifecycle(t, active));
+        current_active = active;
+      }
+    }
+    prev_segment = segment;
     out = kernel.step(t, demands, fm);
     recorder.add_switches(out.switches);
     recorder.record_round(t, out.loads, demands);

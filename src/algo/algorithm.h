@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "core/allocation.h"
@@ -38,15 +40,32 @@ namespace antalloc {
 // Per-round feedback oracle handed to agent algorithms. Draws are
 // deterministic in (seed, round, ant, task), so re-sampling the same cell
 // returns the same value and runs are reproducible under any thread order.
+//
+// Task lifecycle: `active_mask` (bit j set = task j active) gates every
+// draw. An inactive (dormant) task answers unconditional overload — the
+// signal that makes every automaton in this library vacate a task — so any
+// algorithm that only joins on lack and leaves on overload handles task
+// death with no extra per-ant state. The default mask is all-active.
 class FeedbackAccess {
  public:
   FeedbackAccess(FeedbackModel& fm, Round t, std::span<const double> deficits,
-                 std::span<const Count> demands, std::uint64_t seed)
-      : fm_(fm), t_(t), deficits_(deficits), demands_(demands), seed_(seed) {}
+                 std::span<const Count> demands, std::uint64_t seed,
+                 std::uint64_t active_mask = ~0ull)
+      : fm_(fm),
+        t_(t),
+        deficits_(deficits),
+        demands_(demands),
+        seed_(seed),
+        active_mask_(active_mask) {}
 
   std::int32_t num_tasks() const {
     return static_cast<std::int32_t>(deficits_.size());
   }
+
+  // Whether task j is active this round. Algorithms with O(k) inner loops
+  // (join scans, stimulus updates) should skip inactive tasks.
+  bool active(TaskId j) const { return (active_mask_ >> j) & 1; }
+  std::uint64_t active_mask() const { return active_mask_; }
 
   // True demand of task j. In-model algorithms must not consult this (ants
   // cannot know demands, §1); it exists for out-of-model references such as
@@ -54,6 +73,27 @@ class FeedbackAccess {
   Count demand(TaskId j) const { return demands_[static_cast<std::size_t>(j)]; }
 
   Feedback sample(std::int64_t ant, TaskId j) const {
+    if (!active(j)) return Feedback::kOverload;
+    return sample_unmasked(ant, j);
+  }
+
+  // Bitmask of tasks whose feedback for `ant` is lack (bit j set = lack).
+  // Inactive tasks never report lack: the mask is applied once at the end,
+  // keeping the per-task sampling loop branch-free (this is the agent
+  // engine's hottest path — see bench_perf_engines BM_AgentAntRound).
+  std::uint64_t sample_lack_mask(std::int64_t ant) const {
+    std::uint64_t mask = 0;
+    for (TaskId j = 0; j < num_tasks(); ++j) {
+      if (sample_unmasked(ant, j) == Feedback::kLack) mask |= (1ull << j);
+    }
+    return mask & active_mask_;
+  }
+
+ private:
+  // The raw draw, ignoring the lifecycle mask. Callers must mask the result
+  // (sample / sample_lack_mask do); for a dormant task it burns one discarded
+  // draw, which only lifecycle runs ever pay.
+  Feedback sample_unmasked(std::int64_t ant, TaskId j) const {
     const auto ju = static_cast<std::size_t>(j);
     rng::Xoshiro256 gen(rng::hash_words(seed_, static_cast<std::uint64_t>(t_),
                                         static_cast<std::uint64_t>(ant),
@@ -62,22 +102,12 @@ class FeedbackAccess {
                       static_cast<double>(demands_[ju]), gen);
   }
 
-  // Bitmask of tasks whose feedback for `ant` is lack (bit j set = lack).
-  // Only valid for k <= kMaxAgentTasks.
-  std::uint64_t sample_lack_mask(std::int64_t ant) const {
-    std::uint64_t mask = 0;
-    for (TaskId j = 0; j < num_tasks(); ++j) {
-      if (sample(ant, j) == Feedback::kLack) mask |= (1ull << j);
-    }
-    return mask;
-  }
-
- private:
   FeedbackModel& fm_;
   Round t_;
   std::span<const double> deficits_;
   std::span<const Count> demands_;
   std::uint64_t seed_;
+  std::uint64_t active_mask_;
 };
 
 // Per-ant automaton form.
@@ -96,6 +126,20 @@ class AgentAlgorithm {
   // occupation of every ant.
   virtual void step(Round t, const FeedbackAccess& fb,
                     std::span<TaskId> assignment) = 0;
+
+  // Lifecycle hook: called by the engine before step(t) whenever the
+  // active-task set changes. By the time it runs the engine has already
+  // flushed every worker of a dying task to kIdle in the assignment vector;
+  // feedback for inactive tasks is unconditional overload from here on.
+  // The default is a no-op — sufficient for memoryless algorithms, whose
+  // whole state IS the assignment vector. Algorithms that commit ants to a
+  // task across a phase must drop commitments to inactive tasks here; the
+  // contract (mirrored by the aggregate kernels' flushed pools) is that a
+  // worker flushed mid-phase stays dormant until the next phase boundary.
+  virtual void on_lifecycle(Round t, const ActiveSet& active) {
+    (void)t;
+    (void)active;
+  }
 };
 
 // Count-level kernel form.
@@ -117,6 +161,26 @@ class AggregateKernel {
   virtual void reset(const Allocation& initial, std::uint64_t seed) = 0;
   virtual RoundOutput step(Round t, const DemandVector& demands,
                            const FeedbackModel& fm) = 0;
+
+  // Lifecycle transition: called by the engine before step(t) whenever the
+  // active-task set changes. A kernel must flush every worker of a newly
+  // inactive task toward its idle pool, zero that task's visible load, and
+  // skip inactive tasks in its O(k) inner loops until they reactivate.
+  // Returns the number of VISIBLE workers flushed (the engine counts them
+  // as switches; ants already sitting out a phase were idle-visible and do
+  // not switch again). To stay distributionally equivalent to the agent
+  // engine, flushed ants must not re-enter the joinable pool until the
+  // kernel's next phase boundary. Default: throws — kernels opt in, and a
+  // lifecycle schedule on a kernel without support must fail loudly rather
+  // than silently keep dead tasks staffed.
+  virtual Count apply_lifecycle(Round t, const ActiveSet& active);
 };
+
+inline Count AggregateKernel::apply_lifecycle(Round /*t*/,
+                                              const ActiveSet& /*active*/) {
+  throw std::logic_error("aggregate kernel '" + std::string(name()) +
+                         "' does not support task lifecycle; use the agent "
+                         "engine for schedules with task birth/death");
+}
 
 }  // namespace antalloc

@@ -103,6 +103,19 @@ void AntAgent::step(Round t, const FeedbackAccess& fb,
   }
 }
 
+void AntAgent::on_lifecycle(Round /*t*/, const ActiveSet& active) {
+  const std::uint64_t mask = active.mask64();
+  for (std::size_t i = 0; i < current_task_.size(); ++i) {
+    // Dead tasks drop out of every first-sample mask: a flushed worker's
+    // mask empties (it only ever held its own task), so it cannot join
+    // before the next phase start; an idle ant merely loses the dead task
+    // from its join candidates.
+    s1_lack_[i] &= mask;
+    TaskId& ct = current_task_[i];
+    if (ct != kIdle && !active[ct]) ct = kIdle;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Aggregate form
 // ---------------------------------------------------------------------------
@@ -120,7 +133,29 @@ void AntAggregate::reset(const Allocation& initial, std::uint64_t seed) {
   prev_visible_ = assigned_;
   p1_lack_.assign(k, 0.0);
   scratch_.assign(k, 0.0);
+  task_active_.assign(k, 1);
   idle_ = initial.idle();
+  flushed_ = 0;
+}
+
+Count AntAggregate::apply_lifecycle(Round /*t*/, const ActiveSet& active) {
+  Count switched = 0;
+  for (std::size_t j = 0; j < assigned_.size(); ++j) {
+    const bool now_active = active[static_cast<TaskId>(j)];
+    if (!now_active && task_active_[j] != 0) {
+      // Retire: every committed ant (paused ones are already idle-visible
+      // and do not switch again) moves to the flushed pool, which rejoins
+      // the idle pool at the next phase start.
+      switched += visible_[j];
+      flushed_ += assigned_[j];
+      assigned_[j] = 0;
+      paused_[j] = 0;
+      visible_[j] = 0;
+      p1_lack_[j] = 0.0;
+    }
+    task_active_[j] = now_active ? 1 : 0;
+  }
+  return switched;
 }
 
 AggregateKernel::RoundOutput AntAggregate::step(Round t,
@@ -131,9 +166,17 @@ AggregateKernel::RoundOutput AntAggregate::step(Round t,
   prev_visible_ = visible_;
 
   if (t % 2 == 1) {
+    // Phase start: ants flushed off dying tasks re-enter the idle pool and
+    // become joinable at this phase's decision round.
+    idle_ += flushed_;
+    flushed_ = 0;
     // First round: record the first-sample distribution, then pause a
     // Binomial(assigned, cs*gamma) subset of each task's workers.
     for (std::size_t j = 0; j < k; ++j) {
+      if (task_active_[j] == 0) {
+        p1_lack_[j] = 0.0;  // dormant: unconditional overload
+        continue;
+      }
       const auto tj = static_cast<TaskId>(j);
       const double deficit =
           static_cast<double>(demands[tj] - prev_visible_[j]);
@@ -153,6 +196,11 @@ AggregateKernel::RoundOutput AntAggregate::step(Round t,
   // agent automaton commits each ant to exactly one role per phase).
   const Count joinable = idle_;
   for (std::size_t j = 0; j < k; ++j) {
+    if (task_active_[j] == 0) {
+      scratch_[j] = 0.0;  // dormant: no joins, nothing assigned to leave
+      paused_[j] = 0;
+      continue;
+    }
     const auto tj = static_cast<TaskId>(j);
     const double deficit = static_cast<double>(demands[tj] - prev_visible_[j]);
     const double p2 = fm.lack_probability(t, tj, deficit,

@@ -43,6 +43,9 @@ class AntAgent final : public AgentAlgorithm {
              std::uint64_t seed) override;
   void step(Round t, const FeedbackAccess& fb,
             std::span<TaskId> assignment) override;
+  // Drops phase commitments to dying tasks: a flushed worker's first-sample
+  // mask is cleared, so it cannot join anything before the next phase start.
+  void on_lifecycle(Round t, const ActiveSet& active) override;
 
  private:
   AntParams params_;
@@ -65,17 +68,23 @@ class AntAggregate final : public AggregateKernel {
   void reset(const Allocation& initial, std::uint64_t seed) override;
   RoundOutput step(Round t, const DemandVector& demands,
                    const FeedbackModel& fm) override;
+  Count apply_lifecycle(Round t, const ActiveSet& active) override;
 
  private:
   AntParams params_;
   rng::Xoshiro256 gen_;
   Count idle_ = 0;
+  // Ants flushed off dying tasks; they re-enter the idle (joinable) pool at
+  // the next phase start, matching the agent automaton where a mid-phase
+  // flush clears the first-sample mask and blocks joins until the phase ends.
+  Count flushed_ = 0;
   std::vector<Count> assigned_;   // committed ants per task (incl. paused)
   std::vector<Count> paused_;     // temporarily idle this phase
   std::vector<Count> visible_;    // W(j)_t returned to the engine
   std::vector<Count> prev_visible_;  // W(j)_{t-1}, what round-t feedback sees
   std::vector<double> p1_lack_;   // first-sample lack probability per task
   std::vector<double> scratch_;
+  std::vector<std::uint8_t> task_active_;  // lifecycle flags (1 = active)
 };
 
 }  // namespace antalloc

@@ -9,6 +9,17 @@ void OracleAggregate::reset(const Allocation& initial, std::uint64_t /*seed*/) {
   loads_.assign(initial.loads().begin(), initial.loads().end());
 }
 
+Count OracleAggregate::apply_lifecycle(Round /*t*/, const ActiveSet& active) {
+  Count switched = 0;
+  for (std::size_t j = 0; j < loads_.size(); ++j) {
+    if (!active[static_cast<TaskId>(j)]) {
+      switched += loads_[j];
+      loads_[j] = 0;
+    }
+  }
+  return switched;
+}
+
 AggregateKernel::RoundOutput OracleAggregate::step(Round /*t*/,
                                                    const DemandVector& demands,
                                                    const FeedbackModel&) {

@@ -20,6 +20,10 @@ class OracleAggregate final : public AggregateKernel {
   void reset(const Allocation& initial, std::uint64_t seed) override;
   RoundOutput step(Round t, const DemandVector& demands,
                    const FeedbackModel& fm) override;
+  // A dormant task has zero demand, so step would drain it anyway; the
+  // explicit flush keeps the retire transition deterministic and the switch
+  // accounting aligned with the agent engine.
+  Count apply_lifecycle(Round t, const ActiveSet& active) override;
 
  private:
   Count n_ = 0;

@@ -140,6 +140,22 @@ void PreciseAdversarialAgent::step(Round t, const FeedbackAccess& fb,
   }
 }
 
+void PreciseAdversarialAgent::on_lifecycle(Round /*t*/,
+                                           const ActiveSet& active) {
+  const std::uint64_t mask = active.mask64();
+  for (std::size_t i = 0; i < current_task_.size(); ++i) {
+    all_lack_[i] &= mask;
+    TaskId& ct = current_task_[i];
+    if (ct != kIdle && !active[ct]) {
+      // Flushed worker: an empty all-lack mask keeps it idle through the
+      // end-of-phase join; the phase-start reset restores it to a normal
+      // idle ant.
+      ct = kIdle;
+      all_lack_[i] = 0;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Aggregate form (deterministic feedback only)
 // ---------------------------------------------------------------------------
@@ -162,7 +178,30 @@ void PreciseAdversarialAggregate::reset(const Allocation& initial,
   first_lack_.assign(k, params_.r1());
   all_lack_.assign(k, 1);
   all_over_.assign(k, 1);
+  task_active_.assign(k, 1);
   idle_ = initial.idle();
+  flushed_ = 0;
+}
+
+Count PreciseAdversarialAggregate::apply_lifecycle(Round /*t*/,
+                                                   const ActiveSet& active) {
+  Count switched = 0;
+  for (std::size_t j = 0; j < assigned_.size(); ++j) {
+    const bool now_active = active[static_cast<TaskId>(j)];
+    if (!now_active && task_active_[j] != 0) {
+      switched += visible_[j];
+      flushed_ += assigned_[j];
+      assigned_[j] = 0;
+      active_[j] = 0;
+      visible_[j] = 0;
+      // The replay history must not resurrect pre-death loads at the
+      // sub-phase-2 freeze.
+      for (auto& h : active_history_[j]) h = 0;
+      all_lack_[j] = 0;
+    }
+    task_active_[j] = now_active ? 1 : 0;
+  }
+  return switched;
 }
 
 AggregateKernel::RoundOutput PreciseAdversarialAggregate::step(
@@ -175,6 +214,9 @@ AggregateKernel::RoundOutput PreciseAdversarialAggregate::step(
   prev_visible_ = visible_;
 
   if (r == 1) {
+    // Phase start: ants flushed off dying tasks rejoin the idle pool.
+    idle_ += flushed_;
+    flushed_ = 0;
     for (std::size_t j = 0; j < k; ++j) {
       active_[j] = assigned_[j];
       active_history_[j].assign(static_cast<std::size_t>(r1) + 1, assigned_[j]);
@@ -184,8 +226,14 @@ AggregateKernel::RoundOutput PreciseAdversarialAggregate::step(
     }
   }
 
-  // Common deterministic feedback per task for this round.
+  // Common deterministic feedback per task for this round. Dormant tasks
+  // answer unconditional overload, which clears their all-lack flag so the
+  // end-of-phase join rule never targets them.
   for (std::size_t j = 0; j < k; ++j) {
+    if (task_active_[j] == 0) {
+      all_lack_[j] = 0;
+      continue;
+    }
     const auto tj = static_cast<TaskId>(j);
     const double deficit = static_cast<double>(demands[tj] - prev_visible_[j]);
     const double p = fm.lack_probability(t, tj, deficit,

@@ -50,6 +50,9 @@ class PreciseAdversarialAgent final : public AgentAlgorithm {
              std::uint64_t seed) override;
   void step(Round t, const FeedbackAccess& fb,
             std::span<TaskId> assignment) override;
+  // Drops commitments to dying tasks; a flushed worker's all-lack mask is
+  // cleared, which keeps it idle until the phase-start reset.
+  void on_lifecycle(Round t, const ActiveSet& active) override;
 
  private:
   PreciseAdversarialParams params_;
@@ -78,11 +81,17 @@ class PreciseAdversarialAggregate final : public AggregateKernel {
   void reset(const Allocation& initial, std::uint64_t seed) override;
   RoundOutput step(Round t, const DemandVector& demands,
                    const FeedbackModel& fm) override;
+  Count apply_lifecycle(Round t, const ActiveSet& active) override;
 
  private:
   PreciseAdversarialParams params_;
   rng::Xoshiro256 gen_;
   Count idle_ = 0;
+  // Ants flushed off dying tasks; they rejoin the idle pool at the next
+  // phase start (flushed agent automata have empty all-lack masks until
+  // then).
+  Count flushed_ = 0;
+  std::vector<std::uint8_t> task_active_;  // lifecycle flags (1 = active)
   std::vector<Count> assigned_;
   std::vector<Count> active_;          // still-working count in sub-phase 1
   std::vector<Count> visible_;

@@ -70,17 +70,43 @@ void PreciseSigmoidAgent::reset(Count n_ants, std::int32_t k,
   counts_.assign(static_cast<std::size_t>(n_ants) * static_cast<std::size_t>(k),
                  0);
   med1_lack_.assign(static_cast<std::size_t>(n_ants), 0);
+  dormant_.assign(static_cast<std::size_t>(n_ants), 0);
+}
+
+void PreciseSigmoidAgent::on_lifecycle(Round /*t*/, const ActiveSet& active) {
+  const std::uint64_t mask = active.mask64();
+  const auto n = static_cast<std::int64_t>(current_task_.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    med1_lack_[iu] &= mask;
+    TaskId& ct = current_task_[iu];
+    if (ct != kIdle && !active[ct]) {
+      ct = kIdle;
+      dormant_[iu] = 1;
+    }
+  }
+  // Zero every ant's lack counts for the dead tasks: a count accrued while
+  // the task was alive must not survive into a window that straddles its
+  // rebirth (the aggregate kernel zeroes the matching window entries).
+  for (TaskId j = 0; j < k_; ++j) {
+    if (active[j]) continue;
+    for (std::int64_t i = 0; i < n; ++i) lack_count(i, j) = 0;
+  }
 }
 
 void PreciseSigmoidAgent::accumulate(const FeedbackAccess& fb,
                                      std::span<TaskId> assignment) {
   const auto n = static_cast<std::int64_t>(assignment.size());
   for (std::int64_t i = 0; i < n; ++i) {
+    if (dormant_[static_cast<std::size_t>(i)] != 0) continue;
     const TaskId ct = current_task_[static_cast<std::size_t>(i)];
     if (ct == kIdle) {
-      // Idle ants need the median for every task (join rule).
+      // Idle ants need the median for every active task (join rule);
+      // dormant tasks would sample unconditional overload anyway.
       for (TaskId j = 0; j < k_; ++j) {
-        if (fb.sample(i, j) == Feedback::kLack) ++lack_count(i, j);
+        if (fb.active(j) && fb.sample(i, j) == Feedback::kLack) {
+          ++lack_count(i, j);
+        }
       }
     } else if (fb.sample(i, ct) == Feedback::kLack) {
       ++lack_count(i, ct);
@@ -96,12 +122,14 @@ void PreciseSigmoidAgent::step(Round t, const FeedbackAccess& fb,
   const std::int32_t majority = majority_threshold(m_);
 
   if (r == 1) {
-    // Phase start: commit to the task held at the end of the last phase.
+    // Phase start: commit to the task held at the end of the last phase;
+    // ants flushed off dying tasks mid-phase wake up as ordinary idle ants.
     for (std::int64_t i = 0; i < n; ++i) {
       const auto iu = static_cast<std::size_t>(i);
       current_task_[iu] = assignment[iu];
     }
     std::fill(counts_.begin(), counts_.end(), 0);
+    std::fill(dormant_.begin(), dormant_.end(), 0);
   }
 
   accumulate(fb, assignment);
@@ -187,7 +215,33 @@ void PreciseSigmoidAggregate::reset(const Allocation& initial,
   window2_.assign(k, {});
   med1_lack_.assign(k, 0.0);
   scratch_.assign(k, 0.0);
+  task_active_.assign(k, 1);
   idle_ = initial.idle();
+  flushed_ = 0;
+}
+
+Count PreciseSigmoidAggregate::apply_lifecycle(Round /*t*/,
+                                               const ActiveSet& active) {
+  Count switched = 0;
+  for (std::size_t j = 0; j < assigned_.size(); ++j) {
+    const bool now_active = active[static_cast<TaskId>(j)];
+    if (!now_active && task_active_[j] != 0) {
+      switched += visible_[j];
+      flushed_ += assigned_[j];
+      assigned_[j] = 0;
+      paused_[j] = 0;
+      visible_[j] = 0;
+      med1_lack_[j] = 0.0;
+      // The agent automata zero their lack counts for a dying task; the
+      // matching kernel move is zeroing the window entries already pushed,
+      // so a window straddling death + rebirth only counts post-rebirth
+      // samples.
+      for (auto& p : window1_[j]) p = 0.0;
+      for (auto& p : window2_[j]) p = 0.0;
+    }
+    task_active_[j] = now_active ? 1 : 0;
+  }
+  return switched;
 }
 
 AggregateKernel::RoundOutput PreciseSigmoidAggregate::step(
@@ -199,24 +253,35 @@ AggregateKernel::RoundOutput PreciseSigmoidAggregate::step(
   prev_visible_ = visible_;
 
   if (r == 1) {
+    // Phase start: ants flushed off dying tasks rejoin the idle pool.
+    idle_ += flushed_;
+    flushed_ = 0;
     for (auto& w : window1_) w.clear();
     for (auto& w : window2_) w.clear();
   }
 
   // Record this round's per-sample lack probability (feedback reflects the
-  // previous round's visible loads).
+  // previous round's visible loads). Dormant tasks record 0 — the
+  // unconditional-overload signal.
   const bool in_window1 = (r >= 1 && r <= m_);
   for (std::size_t j = 0; j < k; ++j) {
     const auto tj = static_cast<TaskId>(j);
     const double deficit = static_cast<double>(demands[tj] - prev_visible_[j]);
-    const double p = fm.lack_probability(t, tj, deficit,
-                                         static_cast<double>(demands[tj]));
+    const double p =
+        task_active_[j] != 0
+            ? fm.lack_probability(t, tj, deficit,
+                                  static_cast<double>(demands[tj]))
+            : 0.0;
     (in_window1 ? window1_[j] : window2_[j]).push_back(p);
   }
 
   if (r == m_) {
     // First-window medians and the temporary pause.
     for (std::size_t j = 0; j < k; ++j) {
+      if (task_active_[j] == 0) {
+        med1_lack_[j] = 0.0;
+        continue;
+      }
       med1_lack_[j] = median_lack_probability(window1_[j]);
       paused_[j] =
           rng::binomial(gen_, assigned_[j], params_.pause_probability());
@@ -233,6 +298,11 @@ AggregateKernel::RoundOutput PreciseSigmoidAggregate::step(
   // automaton commits each ant to exactly one role per epoch).
   const Count joinable = idle_;
   for (std::size_t j = 0; j < k; ++j) {
+    if (task_active_[j] == 0) {
+      scratch_[j] = 0.0;
+      paused_[j] = 0;
+      continue;
+    }
     const double med2_lack = median_lack_probability(window2_[j]);
     const double p_leave = (1.0 - med1_lack_[j]) * (1.0 - med2_lack) *
                            params_.leave_probability();

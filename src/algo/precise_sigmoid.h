@@ -63,6 +63,11 @@ class PreciseSigmoidAgent final : public AgentAlgorithm {
              std::uint64_t seed) override;
   void step(Round t, const FeedbackAccess& fb,
             std::span<TaskId> assignment) override;
+  // Drops commitments to dying tasks; a flushed worker goes dormant (no
+  // sampling, no joining) until the next phase start, and every ant's stale
+  // lack counts for the dead task are zeroed so they cannot out-vote a
+  // later rebirth.
+  void on_lifecycle(Round t, const ActiveSet& active) override;
 
  private:
   std::uint16_t& lack_count(std::int64_t ant, TaskId j) {
@@ -79,6 +84,7 @@ class PreciseSigmoidAgent final : public AgentAlgorithm {
   std::vector<TaskId> current_task_;
   std::vector<std::uint16_t> counts_;     // active window lack counts, n*k
   std::vector<std::uint64_t> med1_lack_;  // first-window median bitmask
+  std::vector<std::uint8_t> dormant_;     // flushed mid-phase; idle until r==1
 };
 
 class PreciseSigmoidAggregate final : public AggregateKernel {
@@ -91,12 +97,17 @@ class PreciseSigmoidAggregate final : public AggregateKernel {
   void reset(const Allocation& initial, std::uint64_t seed) override;
   RoundOutput step(Round t, const DemandVector& demands,
                    const FeedbackModel& fm) override;
+  Count apply_lifecycle(Round t, const ActiveSet& active) override;
 
  private:
   PreciseSigmoidParams params_;
   std::int32_t m_ = 0;
   rng::Xoshiro256 gen_;
   Count idle_ = 0;
+  // Ants flushed off dying tasks; they rejoin the idle pool at the next
+  // phase start (the agent automaton's flushed workers are dormant until
+  // then).
+  Count flushed_ = 0;
   std::vector<Count> assigned_;
   std::vector<Count> paused_;
   std::vector<Count> visible_;
@@ -105,6 +116,7 @@ class PreciseSigmoidAggregate final : public AggregateKernel {
   std::vector<std::vector<double>> window2_;
   std::vector<double> med1_lack_;
   std::vector<double> scratch_;
+  std::vector<std::uint8_t> task_active_;     // lifecycle flags (1 = active)
 };
 
 }  // namespace antalloc

@@ -58,11 +58,14 @@ void ThresholdAgent::step(Round t, const FeedbackAccess& fb,
     }
     const TaskId ct = assignment[iu];
     if (ct == kIdle) {
-      // Engage with the task whose stimulus most exceeds this ant's
-      // threshold (if any).
+      // Engage with the active task whose stimulus most exceeds this ant's
+      // threshold (if any). Dormant tasks are skipped outright: their stale
+      // stimulus decays under the unconditional-overload feedback but must
+      // not recruit anyone while it does.
       TaskId best = kIdle;
       double best_excess = 0.0;
       for (TaskId j = 0; j < k_; ++j) {
+        if (!fb.active(j)) continue;
         const double excess = stimulus(i, j) - threshold(i, j);
         if (excess > best_excess) {
           best_excess = excess;

@@ -77,7 +77,25 @@ void ReactiveAggregate::reset(const Allocation& initial, std::uint64_t seed) {
   loads_.assign(initial.loads().begin(), initial.loads().end());
   prev_loads_ = loads_;
   scratch_.assign(loads_.size(), 0.0);
+  task_active_.assign(loads_.size(), 1);
   idle_ = initial.idle();
+}
+
+Count ReactiveAggregate::apply_lifecycle(Round /*t*/, const ActiveSet& active) {
+  Count switched = 0;
+  for (std::size_t j = 0; j < loads_.size(); ++j) {
+    const bool now_active = active[static_cast<TaskId>(j)];
+    if (!now_active && task_active_[j] != 0) {
+      // Flushed workers go straight to the idle pool: an ant idle at the
+      // start of a round may join in that round, exactly as a per-ant
+      // flushed automaton would.
+      switched += loads_[j];
+      idle_ += loads_[j];
+      loads_[j] = 0;
+    }
+    task_active_[j] = now_active ? 1 : 0;
+  }
+  return switched;
 }
 
 AggregateKernel::RoundOutput ReactiveAggregate::step(
@@ -86,8 +104,13 @@ AggregateKernel::RoundOutput ReactiveAggregate::step(
   std::int64_t switches = 0;
   prev_loads_ = loads_;
 
-  // Per-ant lack probabilities from the previous round's loads.
+  // Per-ant lack probabilities from the previous round's loads. Dormant
+  // tasks report unconditional overload: join probability zero.
   for (std::size_t j = 0; j < k; ++j) {
+    if (task_active_[j] == 0) {
+      scratch_[j] = 0.0;
+      continue;
+    }
     const auto tj = static_cast<TaskId>(j);
     const double deficit = static_cast<double>(demands[tj] - prev_loads_[j]);
     scratch_[j] = fm.lack_probability(t, tj, deficit,
@@ -101,6 +124,7 @@ AggregateKernel::RoundOutput ReactiveAggregate::step(
 
   // Workers leave on overload (each sees its own independent sample).
   for (std::size_t j = 0; j < k; ++j) {
+    if (task_active_[j] == 0) continue;  // nothing assigned to a dormant task
     const double p_leave = (1.0 - scratch_[j]) * params_.leave_probability;
     const Count leaves = rng::binomial(gen_, loads_[j], p_leave);
     loads_[j] -= leaves;

@@ -54,6 +54,9 @@ class ReactiveAggregate final : public AggregateKernel {
   void reset(const Allocation& initial, std::uint64_t seed) override;
   RoundOutput step(Round t, const DemandVector& demands,
                    const FeedbackModel& fm) override;
+  // The reactive rule is memoryless, so flushed ants are ordinary idle ants
+  // from the next round on — no phase boundary to wait for.
+  Count apply_lifecycle(Round t, const ActiveSet& active) override;
 
  private:
   ReactiveParams params_;
@@ -63,6 +66,7 @@ class ReactiveAggregate final : public AggregateKernel {
   std::vector<Count> loads_;
   std::vector<Count> prev_loads_;
   std::vector<double> scratch_;
+  std::vector<std::uint8_t> task_active_;  // lifecycle flags (1 = active)
 };
 
 // Sequential-model run (Appendix D.1): in each round exactly one uniformly

@@ -47,6 +47,25 @@ void Allocation::leave(TaskId j, Count count) {
   idle_ += count;
 }
 
+Count Allocation::flush_to_idle(TaskId j) {
+  auto& w = loads_[static_cast<std::size_t>(j)];
+  const Count moved = w;
+  w = 0;
+  idle_ += moved;
+  return moved;
+}
+
+Count Allocation::retire_inactive(const ActiveSet& active) {
+  if (active.num_tasks() != num_tasks()) {
+    throw std::invalid_argument("Allocation::retire_inactive: wrong task count");
+  }
+  Count moved = 0;
+  for (TaskId j = 0; j < num_tasks(); ++j) {
+    if (!active[j]) moved += flush_to_idle(j);
+  }
+  return moved;
+}
+
 void Allocation::set_loads(std::span<const Count> loads) {
   if (loads.size() != loads_.size()) {
     throw std::invalid_argument("Allocation::set_loads: wrong task count");

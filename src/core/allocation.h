@@ -38,6 +38,16 @@ class Allocation {
   // Moves `count` ants from task j back to idle.
   void leave(TaskId j, Count count);
 
+  // Task retirement: moves every worker of task j back to idle and returns
+  // how many ants moved. The deterministic half of a lifecycle transition —
+  // a dying task's workers do not drain stochastically, they are flushed.
+  Count flush_to_idle(TaskId j);
+
+  // Applies an active-task set: flushes every inactive task's workers to
+  // idle (activation needs no transition — a reborn task starts from zero
+  // load and recruits organically). Returns the total number of ants moved.
+  Count retire_inactive(const ActiveSet& active);
+
   // Replaces the loads wholesale (e.g. adversarial restart scenarios); the
   // new loads must fit within n.
   void set_loads(std::span<const Count> loads);

@@ -316,6 +316,179 @@ Built build_growth_death(Params& p, const DemandVector& base, Round horizon,
           std::move(schedule)};
 }
 
+// --- task-lifecycle families ----------------------------------------------
+// These change the task SET, not just the demand magnitudes: a dormant task
+// is active=false with zero demand (engines flush its workers to idle and
+// mask its feedback to unconditional overload). They are the strongest
+// stress of the paper's self-stabilization claim — the colony must vacate a
+// task that stops existing and staff one that appears from nothing.
+
+// Demand vector matching an active-flag vector: dormant tasks get zero,
+// live tasks keep `live_demand(j)`.
+DemandVector masked_demands(const DemandVector& base,
+                            const std::vector<std::uint8_t>& flags,
+                            double live_scale = 1.0) {
+  std::vector<Count> d(base.values().begin(), base.values().end());
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    if (flags[j] == 0) {
+      d[j] = 0;
+    } else if (live_scale != 1.0) {
+      d[j] = std::max<Count>(1, static_cast<Count>(std::llround(
+                                    static_cast<double>(d[j]) * live_scale)));
+    }
+  }
+  return DemandVector(std::move(d));
+}
+
+// Task retirement: at `at`·horizon task `task` (default the last) leaves the
+// problem. With `redistribute` (default 1) its demand moves pro rata onto
+// the survivors — total demand is conserved and the event is a pure
+// reallocation stress; with 0 the demand simply vanishes.
+Built build_task_death(Params& p, const DemandVector& base, Round horizon,
+                       const ScenarioSpec& spec) {
+  (void)spec;
+  const std::int32_t k = base.num_tasks();
+  const double at = p.get("at", 0.5);
+  const auto task =
+      static_cast<TaskId>(p.get("task", static_cast<double>(k - 1)));
+  const bool redistribute = p.get("redistribute", 1.0) != 0.0;
+  if (k < 2) {
+    throw std::invalid_argument(
+        "task-death: k >= 2 (retiring the only task leaves no active task)");
+  }
+  if (task < 0 || task >= k) {
+    throw std::invalid_argument("task-death: task out of range");
+  }
+  const Round shock = std::max<Round>(
+      1, static_cast<Round>(static_cast<double>(horizon) * at));
+  std::vector<std::uint8_t> flags(static_cast<std::size_t>(k), 1);
+  flags[static_cast<std::size_t>(task)] = 0;
+  double live_scale = 1.0;
+  if (redistribute) {
+    const Count survivors = base.total() - base[task];
+    if (survivors <= 0) {
+      throw std::invalid_argument(
+          "task-death: redistribute needs surviving demand to absorb the "
+          "dead task's share");
+    }
+    live_scale =
+        static_cast<double>(base.total()) / static_cast<double>(survivors);
+  }
+  DemandVector after = masked_demands(base, flags, live_scale);
+  DemandSchedule schedule(base);
+  schedule.add_change(shock, std::move(after), ActiveSet(std::move(flags)));
+  return {"task-death(task" + fmt_num(task) + "@" +
+              fmt_num(static_cast<double>(shock)),
+          std::move(schedule)};
+}
+
+// Task birth: task `task` (default the last) is dormant from round 0 and
+// born at `at`·horizon with its base demand. With `redistribute` (default
+// 1) the pre-birth segment scales the live tasks up to the full base total
+// (birth = time-reversed death, total conserved); with 0 the newborn's
+// demand is additional load.
+Built build_task_birth(Params& p, const DemandVector& base, Round horizon,
+                       const ScenarioSpec& spec) {
+  (void)spec;
+  const std::int32_t k = base.num_tasks();
+  const double at = p.get("at", 0.5);
+  const auto task =
+      static_cast<TaskId>(p.get("task", static_cast<double>(k - 1)));
+  const bool redistribute = p.get("redistribute", 1.0) != 0.0;
+  if (k < 2) {
+    throw std::invalid_argument(
+        "task-birth: k >= 2 (the unborn task cannot be the only one)");
+  }
+  if (task < 0 || task >= k) {
+    throw std::invalid_argument("task-birth: task out of range");
+  }
+  const Round birth = std::max<Round>(
+      1, static_cast<Round>(static_cast<double>(horizon) * at));
+  std::vector<std::uint8_t> flags(static_cast<std::size_t>(k), 1);
+  flags[static_cast<std::size_t>(task)] = 0;
+  double live_scale = 1.0;
+  if (redistribute) {
+    const Count live = base.total() - base[task];
+    if (live <= 0) {
+      throw std::invalid_argument(
+          "task-birth: redistribute needs live demand before the birth");
+    }
+    live_scale = static_cast<double>(base.total()) / static_cast<double>(live);
+  }
+  DemandVector before = masked_demands(base, flags, live_scale);
+  DemandSchedule schedule(std::move(before), ActiveSet(flags));
+  schedule.add_change(birth, base, ActiveSet::all(k));
+  return {"task-birth(task" + fmt_num(task) + "@" +
+              fmt_num(static_cast<double>(birth)),
+          std::move(schedule)};
+}
+
+// Rotating birth/death: the last `pool` (default 2) tasks take turns being
+// alive, handing off every `period` rounds (default horizon/4). The
+// outgoing and incoming tasks coexist for `overlap`·period rounds (default
+// 0.25; 0 = instant handoff — the worst case, since the colony cannot
+// pre-staff the newcomer while winding the old task down). Tasks outside
+// the pool keep their base demands throughout.
+Built build_task_churn(Params& p, const DemandVector& base, Round horizon,
+                       const ScenarioSpec& spec) {
+  (void)spec;
+  const std::int32_t k = base.num_tasks();
+  const auto pool = static_cast<std::int32_t>(p.get("pool", 2.0));
+  const Round period = std::max<Round>(
+      1, static_cast<Round>(p.get("period",
+                                  static_cast<double>(horizon) / 4.0)));
+  const double overlap = p.get("overlap", 0.25);
+  if (pool < 2 || pool > k) {
+    throw std::invalid_argument("task-churn: pool in [2, k]");
+  }
+  if (overlap < 0.0 || overlap >= 1.0) {
+    throw std::invalid_argument("task-churn: overlap in [0, 1)");
+  }
+  if (period >= horizon) {
+    throw std::invalid_argument(
+        "task-churn: period < horizon (the horizon must fit at least one "
+        "handoff; a longer period would silently churn nothing)");
+  }
+  // overlap < 1 must survive the rounding too: ov == period would land the
+  // death change point on the next birth and blow up schedule construction.
+  const Round ov = std::min<Round>(
+      period - 1, static_cast<Round>(
+                      std::llround(overlap * static_cast<double>(period))));
+  const TaskId pool_base = k - pool;
+  const auto flags_for = [&](std::vector<TaskId> live) {
+    std::vector<std::uint8_t> flags(static_cast<std::size_t>(k), 1);
+    for (TaskId j = pool_base; j < k; ++j) {
+      flags[static_cast<std::size_t>(j)] = 0;
+    }
+    for (const TaskId j : live) flags[static_cast<std::size_t>(j)] = 1;
+    return flags;
+  };
+
+  const auto flags0 = flags_for({pool_base});
+  DemandSchedule schedule(masked_demands(base, flags0), ActiveSet(flags0));
+  for (int e = 1;; ++e) {
+    const Round birth = period * e;
+    if (birth >= horizon) break;
+    const TaskId incoming = pool_base + (e % pool);
+    const TaskId outgoing = pool_base + ((e - 1) % pool);
+    if (ov > 0) {
+      const auto both = flags_for({outgoing, incoming});
+      schedule.add_change(birth, masked_demands(base, both), ActiveSet(both));
+      const Round death = birth + ov;
+      if (death >= horizon) break;  // the run ends mid-overlap
+      const auto solo = flags_for({incoming});
+      schedule.add_change(death, masked_demands(base, solo), ActiveSet(solo));
+    } else {
+      const auto solo = flags_for({incoming});
+      schedule.add_change(birth, masked_demands(base, solo), ActiveSet(solo));
+    }
+  }
+  return {"task-churn(pool=" + fmt_num(pool) + ",period=" +
+              fmt_num(static_cast<double>(period)) + ",overlap=" +
+              fmt_num(overlap),
+          std::move(schedule)};
+}
+
 struct Family {
   const char* name;
   const char* description;
@@ -347,6 +520,12 @@ constexpr Family kFamilies[] = {
      build_adversarial_phase},
     {"growth-death", "colony growth epochs with one mass-death event",
      build_growth_death},
+    {"task-death", "task `task` retires at `at`·horizon (workers flushed; "
+     "demand redistributed)", build_task_death},
+    {"task-birth", "task `task` is dormant until `at`·horizon, then born at "
+     "base demand", build_task_birth},
+    {"task-churn", "the last `pool` tasks rotate birth/death every `period` "
+     "rounds with `overlap`·period coexistence", build_task_churn},
 };
 
 const Family& find_family(const std::string& name) {

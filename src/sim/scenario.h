@@ -11,6 +11,12 @@
 // runner (src/sim/campaign.h) pick scenarios up by name with no further
 // wiring, exactly like algorithms.
 //
+// Families may also change the task SET, not just demand magnitudes: the
+// task-death / task-birth / task-churn families attach per-segment
+// ActiveSets to their schedules (core/demand.h), which both engines consume
+// as retire/activate transitions — see the task-lifecycle section of
+// docs/ARCHITECTURE.md.
+//
 // Adding a scenario family = write a builder in scenario.cpp, add one row to
 // the family table, and it is automatically covered by scenario_test,
 // engine_equivalence_test and the CLI's campaign mode.

@@ -1,0 +1,280 @@
+// Task-lifecycle contract, bottom to top: ActiveSet semantics, the
+// DemandSchedule active-set validation, Allocation's retire transition, the
+// FeedbackAccess unconditional-overload mask, and the engine-level
+// guarantees — retiring a task returns its workers to idle in the same
+// round, a reactivated task starts from zero load, dormant tasks contribute
+// zero demand and zero deficit to the (rectangular, over-k_max) metrics,
+// and switch counting stays exact across lifecycle boundaries in both
+// engines.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "aggregate/aggregate_sim.h"
+#include "agent/agent_sim.h"
+#include "algo/ant.h"
+#include "algo/oracle.h"
+#include "algo/registry.h"
+#include "noise/adversarial.h"
+#include "noise/exact.h"
+#include "noise/sigmoid.h"
+#include "sim/scenario.h"
+
+namespace antalloc {
+namespace {
+
+ActiveSet without_task1() { return ActiveSet(std::vector<std::uint8_t>{1, 0}); }
+
+// --- core types ------------------------------------------------------------
+
+TEST(ActiveSetTest, BasicsAndValidation) {
+  const ActiveSet all = ActiveSet::all(3);
+  EXPECT_EQ(all.num_tasks(), 3);
+  EXPECT_EQ(all.num_active(), 3);
+  EXPECT_TRUE(all.all_active());
+  EXPECT_EQ(all.mask64(), 0b111u);
+
+  const ActiveSet partial(std::vector<std::uint8_t>{1, 0, 1});
+  EXPECT_EQ(partial.num_active(), 2);
+  EXPECT_FALSE(partial.all_active());
+  EXPECT_TRUE(partial[0]);
+  EXPECT_FALSE(partial[1]);
+  EXPECT_EQ(partial.mask64(), 0b101u);
+  EXPECT_NE(partial, all);
+  EXPECT_EQ(partial, ActiveSet(std::vector<std::uint8_t>{1, 0, 1}));
+
+  EXPECT_THROW(ActiveSet::all(0), std::invalid_argument);
+  EXPECT_THROW(ActiveSet(std::vector<std::uint8_t>{}), std::invalid_argument);
+  // At least one task must remain active.
+  EXPECT_THROW(ActiveSet(std::vector<std::uint8_t>{0, 0}),
+               std::invalid_argument);
+}
+
+TEST(DemandScheduleLifecycle, ActiveSetsPerSegment) {
+  DemandSchedule s(DemandVector({Count{30}, Count{20}}));
+  EXPECT_FALSE(s.has_lifecycle());
+  EXPECT_TRUE(s.active_at(0).all_active());
+
+  s.add_change(5, DemandVector({Count{30}, Count{0}}), without_task1());
+  EXPECT_TRUE(s.has_lifecycle());
+  EXPECT_TRUE(s.active_at(4)[1]);
+  EXPECT_FALSE(s.active_at(5)[1]);
+  EXPECT_FALSE(s.active_at(100)[1]);
+
+  // A demand-only change inherits the previous segment's active set.
+  s.add_change(10, DemandVector({Count{60}, Count{0}}));
+  EXPECT_FALSE(s.active_at(10)[1]);
+  EXPECT_EQ(s.demands_at(10)[0], 60);
+}
+
+TEST(DemandScheduleLifecycle, InactiveTasksMustHaveZeroDemand) {
+  // A dormant task with nonzero demand would accrue regret no algorithm can
+  // serve — the schedule rejects it at construction.
+  EXPECT_THROW(DemandSchedule(DemandVector({Count{30}, Count{20}}),
+                              without_task1()),
+               std::invalid_argument);
+  DemandSchedule s(DemandVector({Count{30}, Count{0}}), without_task1());
+  EXPECT_TRUE(s.has_lifecycle());
+  EXPECT_THROW(
+      s.add_change(5, DemandVector({Count{30}, Count{20}}), without_task1()),
+      std::invalid_argument);
+  // Mismatched active-set size is rejected too.
+  EXPECT_THROW(s.add_change(5, DemandVector({Count{30}, Count{0}}),
+                            ActiveSet::all(3)),
+               std::invalid_argument);
+}
+
+TEST(AllocationLifecycle, RetireReturnsWorkersToIdle) {
+  Allocation alloc(100, {Count{30}, Count{20}, Count{10}});
+  EXPECT_EQ(alloc.idle(), 40);
+
+  EXPECT_EQ(alloc.flush_to_idle(1), 20);
+  EXPECT_EQ(alloc.load(1), 0);
+  EXPECT_EQ(alloc.idle(), 60);
+  // Flushing an empty task is a no-op.
+  EXPECT_EQ(alloc.flush_to_idle(1), 0);
+
+  const ActiveSet only0(std::vector<std::uint8_t>{1, 0, 0});
+  EXPECT_EQ(alloc.retire_inactive(only0), 10);
+  EXPECT_EQ(alloc.load(0), 30);
+  EXPECT_EQ(alloc.load(2), 0);
+  EXPECT_EQ(alloc.idle(), 70);
+
+  EXPECT_THROW(alloc.retire_inactive(ActiveSet::all(2)),
+               std::invalid_argument);
+}
+
+// --- feedback masking ------------------------------------------------------
+
+TEST(FeedbackLifecycle, InactiveTasksEmitUnconditionalOverload) {
+  SigmoidFeedback fm(5.0);
+  // Huge positive deficits: active tasks report lack almost surely.
+  const std::vector<double> deficits{500.0, 500.0};
+  const std::vector<Count> demands{Count{100}, Count{100}};
+  const FeedbackAccess all(fm, 1, deficits, demands, 42);
+  EXPECT_TRUE(all.active(0));
+  EXPECT_EQ(all.sample(0, 0), Feedback::kLack);
+  EXPECT_EQ(all.sample_lack_mask(0), 0b11u);
+
+  // Same round, same seed, task 1 masked: unconditional overload.
+  const FeedbackAccess masked(fm, 1, deficits, demands, 42, 0b01u);
+  EXPECT_FALSE(masked.active(1));
+  for (std::int64_t ant = 0; ant < 16; ++ant) {
+    EXPECT_EQ(masked.sample(ant, 1), Feedback::kOverload);
+    EXPECT_EQ(masked.sample_lack_mask(ant), 0b01u);
+  }
+}
+
+TEST(KernelLifecycle, DefaultApplyLifecycleThrows) {
+  // A kernel that never opted in must fail loudly rather than keep dead
+  // tasks staffed.
+  class NoLifecycleKernel final : public AggregateKernel {
+   public:
+    std::string_view name() const override { return "no-lifecycle"; }
+    void reset(const Allocation&, std::uint64_t) override {}
+    RoundOutput step(Round, const DemandVector&,
+                     const FeedbackModel&) override {
+      return {};
+    }
+  } kernel;
+  EXPECT_THROW(kernel.apply_lifecycle(1, ActiveSet::all(2)), std::logic_error);
+}
+
+TEST(KernelLifecycle, RetireFlushesAndReactivationStartsEmpty) {
+  AntAggregate kernel(AntParams{.gamma = 0.02});
+  kernel.reset(Allocation(100, {Count{30}, Count{20}}), 1);
+  const SigmoidFeedback fm(0.5);
+
+  // Retiring task 1 flushes its 20 visible workers.
+  EXPECT_EQ(kernel.apply_lifecycle(1, without_task1()), 20);
+  auto out = kernel.step(1, DemandVector({Count{30}, Count{0}}), fm);
+  EXPECT_EQ(out.loads[1], 0);
+
+  // Reactivation conjures no workers: the reborn task starts from zero load
+  // and recruits organically (joins need a fresh phase's first sample).
+  EXPECT_EQ(kernel.apply_lifecycle(2, ActiveSet::all(2)), 0);
+  out = kernel.step(2, DemandVector({Count{30}, Count{20}}), fm);
+  EXPECT_EQ(out.loads[1], 0);
+}
+
+// --- engines ---------------------------------------------------------------
+
+DemandSchedule death_schedule() {
+  DemandSchedule s(DemandVector({Count{30}, Count{20}}));
+  s.add_change(5, DemandVector({Count{30}, Count{0}}), without_task1());
+  return s;
+}
+
+// The oracle rebalances deterministically, so the exact switch count across
+// a lifecycle boundary is known in closed form: 50 initial joins plus the
+// 20 workers the retirement flushes — and both engines must report it.
+TEST(EngineLifecycle, SwitchCountingStaysExactAcrossRetirement) {
+  const DemandSchedule schedule = death_schedule();
+
+  OracleAgent agent;
+  ExactFeedback fm;
+  AgentSimConfig acfg{.n_ants = 100, .rounds = 10, .seed = 1};
+  const SimResult agent_res = run_agent_sim(agent, fm, schedule, acfg);
+  EXPECT_EQ(agent_res.switches, 70);
+  EXPECT_EQ(agent_res.final_loads[0], 30);
+  EXPECT_EQ(agent_res.final_loads[1], 0);
+
+  OracleAggregate kernel;
+  AggregateSimConfig kcfg{.n_ants = 100, .rounds = 10, .seed = 1};
+  const SimResult agg_res = run_aggregate_sim(kernel, fm, schedule, kcfg);
+  EXPECT_EQ(agg_res.switches, 70);
+  EXPECT_EQ(agg_res.final_loads[0], 30);
+  EXPECT_EQ(agg_res.final_loads[1], 0);
+}
+
+// Initial loads placed on a task that is dormant from round 0 are flushed
+// before the first step — in both engines, with the flush counted once.
+TEST(EngineLifecycle, InitialLoadsOnDormantTasksAreFlushed) {
+  DemandSchedule schedule(DemandVector({Count{30}, Count{0}}),
+                          without_task1());
+
+  OracleAgent agent;
+  ExactFeedback fm;
+  AgentSimConfig acfg{.n_ants = 100,
+                      .rounds = 3,
+                      .seed = 1,
+                      .initial_loads = {Count{0}, Count{40}}};
+  const SimResult agent_res = run_agent_sim(agent, fm, schedule, acfg);
+  // 40 flushed off the dormant task + 30 oracle joins, round 1.
+  EXPECT_EQ(agent_res.switches, 70);
+  EXPECT_EQ(agent_res.final_loads[1], 0);
+
+  OracleAggregate kernel;
+  AggregateSimConfig kcfg{.n_ants = 100,
+                          .rounds = 3,
+                          .seed = 1,
+                          .initial_loads = {Count{0}, Count{40}}};
+  const SimResult agg_res = run_aggregate_sim(kernel, fm, schedule, kcfg);
+  EXPECT_EQ(agg_res.switches, 70);
+  EXPECT_EQ(agg_res.final_loads[1], 0);
+}
+
+// Every kernel-backed algorithm, both engines: once a task dies, no worker
+// is ever on it again (the recorder's deficit d(j) - W(j) with d(j) = 0
+// must read exactly 0 — a stray worker would make it negative), and metrics
+// stay rectangular over k_max. This is the engine-level half of the
+// "dormant tasks contribute zero demand and zero deficit" contract.
+TEST(EngineLifecycle, DormantTasksHoldZeroWorkersUnderEveryAlgorithm) {
+  const auto base = DemandVector({Count{80}, Count{60}});
+  ScenarioSpec spec;
+  spec.name = "task-churn";
+  spec.params = {{"period", 60.0}, {"overlap", 0.5}};
+  const Scenario scenario = make_scenario(spec, base, 240);
+
+  for (const auto& algo_name : algorithm_names()) {
+    if (!has_aggregate_kernel(algo_name)) continue;
+    SCOPED_TRACE(algo_name);
+    AlgoConfig algo_cfg;
+    algo_cfg.name = algo_name;
+    algo_cfg.gamma = 0.05;
+    algo_cfg.epsilon = 0.5;
+
+    const bool adversarial =
+        !make_aggregate_kernel(algo_cfg)->supports(SigmoidFeedback(0.5));
+    const auto make_fm = [&]() -> std::unique_ptr<FeedbackModel> {
+      if (adversarial) {
+        return std::make_unique<AdversarialFeedback>(0.03,
+                                                     make_honest_adversary());
+      }
+      return std::make_unique<SigmoidFeedback>(0.5);
+    };
+
+    const MetricsRecorder::Options metrics{.gamma = 0.05, .trace_stride = 1};
+    for (const bool use_agent : {true, false}) {
+      SCOPED_TRACE(use_agent ? "agent" : "aggregate");
+      SimResult res;
+      auto fm = make_fm();
+      if (use_agent) {
+        auto algo = make_agent_algorithm(algo_cfg);
+        AgentSimConfig cfg{
+            .n_ants = 400, .rounds = 240, .seed = 7, .metrics = metrics};
+        res = run_agent_sim(*algo, *fm, scenario.schedule, cfg);
+      } else {
+        auto kernel = make_aggregate_kernel(algo_cfg);
+        AggregateSimConfig cfg{
+            .n_ants = 400, .rounds = 240, .seed = 7, .metrics = metrics};
+        res = run_aggregate_sim(*kernel, *fm, scenario.schedule, cfg);
+      }
+      ASSERT_EQ(res.trace.num_tasks(), 2);  // rectangular over k_max
+      for (std::size_t i = 0; i < res.trace.size(); ++i) {
+        const Round t = res.trace.round_at(i);
+        const ActiveSet& active = scenario.schedule.active_at(t);
+        for (TaskId j = 0; j < 2; ++j) {
+          if (!active[j]) {
+            EXPECT_EQ(res.trace.deficit_at(i, j), 0)
+                << "round " << t << " task " << j;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace antalloc

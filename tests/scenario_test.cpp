@@ -98,11 +98,20 @@ TEST(ScenarioRegistry, EveryFamilyConstructsWellFormed) {
     // Change points never alter the task count and stay inside the horizon.
     EXPECT_EQ(sc.schedule.num_tasks(), base.num_tasks());
     EXPECT_LT(sc.schedule.last_change(), horizon);
-    // Demands stay feasible for a colony provisioned with 3x base slack and
-    // never degenerate to zero.
+    // Demands stay feasible for a colony provisioned with 3x base slack.
+    // Active tasks never degenerate to zero demand; dormant tasks must have
+    // exactly zero (active=false <=> outside the problem).
     EXPECT_LE(sc.schedule.max_total(), 3 * base.total());
     for (Round t = 0; t < horizon; t += horizon / 37) {
-      EXPECT_GE(sc.schedule.demands_at(t).min_demand(), 1);
+      const DemandVector& d = sc.schedule.demands_at(t);
+      const ActiveSet& active = sc.schedule.active_at(t);
+      for (TaskId j = 0; j < d.num_tasks(); ++j) {
+        if (active[j]) {
+          EXPECT_GE(d[j], 1) << "task " << j << " round " << t;
+        } else {
+          EXPECT_EQ(d[j], 0) << "task " << j << " round " << t;
+        }
+      }
     }
   }
 }
@@ -210,6 +219,135 @@ TEST(ScenarioRegistry, SeasonalConservesApproximateTotal) {
         static_cast<double>(sc.schedule.demands_at(t).total());
     EXPECT_NEAR(total, static_cast<double>(base.total()),
                 0.2 * static_cast<double>(base.total()));
+  }
+}
+
+// --- task-lifecycle families -----------------------------------------------
+
+TEST(ScenarioRegistry, TaskDeathRetiresAndRedistributes) {
+  const auto base = uniform_demands(3, 300);
+  ScenarioSpec spec;
+  spec.name = "task-death";
+  spec.params = {{"at", 0.5}, {"task", 2.0}};
+  const Scenario sc = make_scenario(spec, base, 1000);
+
+  // Before the shock: all three tasks live at base demand.
+  EXPECT_TRUE(sc.schedule.active_at(499)[2]);
+  EXPECT_EQ(sc.schedule.demands_at(499)[2], 300);
+  // After: task 2 is dormant with zero demand and the survivors absorb its
+  // share pro rata — total demand is conserved.
+  EXPECT_FALSE(sc.schedule.active_at(500)[2]);
+  EXPECT_EQ(sc.schedule.demands_at(500)[2], 0);
+  EXPECT_EQ(sc.schedule.demands_at(500)[0], 450);
+  EXPECT_EQ(sc.schedule.demands_at(500)[1], 450);
+  EXPECT_EQ(sc.schedule.demands_at(500).total(), base.total());
+  EXPECT_TRUE(sc.schedule.has_lifecycle());
+
+  // Without redistribution the demand simply vanishes.
+  spec.params["redistribute"] = 0.0;
+  const Scenario plain = make_scenario(spec, base, 1000);
+  EXPECT_EQ(plain.schedule.demands_at(500)[0], 300);
+  EXPECT_EQ(plain.schedule.demands_at(500).total(), 600);
+
+  // Param validation: out-of-range task, k too small, unknown keys.
+  spec.params = {{"task", 7.0}};
+  EXPECT_THROW(make_scenario(spec, base, 1000), std::invalid_argument);
+  spec.params = {};
+  EXPECT_THROW(make_scenario(spec, uniform_demands(1, 300), 1000),
+               std::invalid_argument);
+  spec.params = {{"taks", 1.0}};  // typo must not silently run defaults
+  EXPECT_THROW(make_scenario(spec, base, 1000), std::invalid_argument);
+  // An `at` beyond the horizon would never fire — make_scenario rejects it.
+  spec.params = {{"at", 1.5}};
+  EXPECT_THROW(make_scenario(spec, base, 1000), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, TaskBirthStartsDormantThenJoinsAtBase) {
+  const auto base = uniform_demands(2, 400);
+  ScenarioSpec spec;
+  spec.name = "task-birth";
+  spec.params = {{"at", 0.25}};
+  const Scenario sc = make_scenario(spec, base, 1000);
+
+  // Pre-birth: the last task is dormant (zero demand) and task 0 carries
+  // the full base total (redistribute defaults on).
+  EXPECT_FALSE(sc.schedule.active_at(0)[1]);
+  EXPECT_EQ(sc.schedule.demands_at(0)[1], 0);
+  EXPECT_EQ(sc.schedule.demands_at(0)[0], 800);
+  // Post-birth: full base demands, everything active.
+  EXPECT_TRUE(sc.schedule.active_at(250)[1]);
+  EXPECT_EQ(sc.schedule.demands_at(250)[1], 400);
+  EXPECT_EQ(sc.schedule.demands_at(250)[0], 400);
+  EXPECT_TRUE(sc.schedule.has_lifecycle());
+
+  spec.params = {{"task", -1.0}};
+  EXPECT_THROW(make_scenario(spec, base, 1000), std::invalid_argument);
+  spec.params = {{"birthday", 0.5}};  // unknown key
+  EXPECT_THROW(make_scenario(spec, base, 1000), std::invalid_argument);
+  EXPECT_THROW(make_scenario({.name = "task-birth"}, uniform_demands(1, 400),
+                             1000),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, TaskChurnRotatesThePoolWithOverlap) {
+  const auto base = uniform_demands(4, 200);
+  ScenarioSpec spec;
+  spec.name = "task-churn";
+  spec.params = {{"period", 100.0}, {"overlap", 0.25}, {"pool", 2.0}};
+  const Scenario sc = make_scenario(spec, base, 400);
+
+  // Pool = tasks {2, 3}; tasks 0 and 1 never churn.
+  for (const Round t : {Round{0}, Round{99}, Round{150}, Round{399}}) {
+    EXPECT_TRUE(sc.schedule.active_at(t)[0]);
+    EXPECT_TRUE(sc.schedule.active_at(t)[1]);
+    EXPECT_EQ(sc.schedule.demands_at(t)[0], 200);
+  }
+  // Segment 0: member 2 live, member 3 dormant.
+  EXPECT_TRUE(sc.schedule.active_at(0)[2]);
+  EXPECT_FALSE(sc.schedule.active_at(0)[3]);
+  // Handoff 1 at round 100: both live for 25 rounds (the overlap) …
+  EXPECT_TRUE(sc.schedule.active_at(100)[2]);
+  EXPECT_TRUE(sc.schedule.active_at(100)[3]);
+  EXPECT_EQ(sc.schedule.demands_at(100)[3], 200);
+  // … then the outgoing member dies.
+  EXPECT_FALSE(sc.schedule.active_at(125)[2]);
+  EXPECT_TRUE(sc.schedule.active_at(125)[3]);
+  EXPECT_EQ(sc.schedule.demands_at(125)[2], 0);
+  // Handoff 2 at round 200 rotates back to member 2.
+  EXPECT_TRUE(sc.schedule.active_at(200)[2]);
+  EXPECT_FALSE(sc.schedule.active_at(225)[3]);
+  EXPECT_TRUE(sc.schedule.has_lifecycle());
+
+  // Instant handoff (overlap = 0): exactly one pool member at all times.
+  spec.params = {{"period", 100.0}, {"overlap", 0.0}};
+  const Scenario instant = make_scenario(spec, base, 400);
+  for (Round t = 0; t < 400; t += 10) {
+    const ActiveSet& a = instant.schedule.active_at(t);
+    EXPECT_EQ((a[2] ? 1 : 0) + (a[3] ? 1 : 0), 1) << "round " << t;
+  }
+
+  // Overlap values that round up to a full period must not collide the
+  // death change point with the next birth.
+  spec.params = {{"period", 100.0}, {"overlap", 0.996}};
+  EXPECT_NO_THROW(make_scenario(spec, base, 400));
+
+  // Param validation.
+  spec.params = {{"pool", 1.0}};
+  EXPECT_THROW(make_scenario(spec, base, 400), std::invalid_argument);
+  spec.params = {{"pool", 5.0}};  // pool > k
+  EXPECT_THROW(make_scenario(spec, base, 400), std::invalid_argument);
+  spec.params = {{"overlap", 1.0}};
+  EXPECT_THROW(make_scenario(spec, base, 400), std::invalid_argument);
+  spec.params = {{"period", 400.0}};  // no handoff fits the horizon
+  EXPECT_THROW(make_scenario(spec, base, 400), std::invalid_argument);
+  spec.params = {{"cadence", 50.0}};  // unknown key
+  EXPECT_THROW(make_scenario(spec, base, 400), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, ChurnFamiliesAreRegistered) {
+  for (const char* name : {"task-death", "task-birth", "task-churn"}) {
+    EXPECT_TRUE(has_scenario(name)) << name;
+    EXPECT_FALSE(scenario_description(name).empty()) << name;
   }
 }
 
