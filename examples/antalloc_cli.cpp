@@ -1,17 +1,27 @@
 // antalloc_cli: a general simulator driver — pick the algorithm, noise
 // model and colony shape from flags, get a summary table and an ASCII
-// deficit plot; or run a whole scenario × algorithm campaign matrix. The
-// fastest way to poke at the system interactively.
+// deficit plot; or run a whole scenario × algorithm campaign matrix,
+// optionally as one shard of a distributed run. The fastest way to poke at
+// the system interactively.
 //
 //   ./build/examples/antalloc_cli --algo=ant --n=65536 --k=4 --demand=4000 --lambda=0.2 --rounds=8000 --gamma=0.05 --plot=true
 //   ./build/examples/antalloc_cli --algo=precise-adversarial --noise=adv --adversary=anti-gradient --gamma_ad=0.02
 //   ./build/examples/antalloc_cli --campaign=true --scenarios=all --algos=ant,trivial --replicates=4 --csv=campaign.csv
+//   ./build/examples/antalloc_cli --campaign=true --scenarios=all --algos=ant --shard=0/3 --out=shards/
+//   ./build/examples/antalloc_cli --merge=shards/ --csv=merged.csv
+//   ./build/examples/antalloc_cli --list-scenarios   (or --list-algos)
+//
+// Sharding: --shard=i/N runs only the cells shard i owns and --out writes
+// them as a CSV/manifest pair; run all N shards (any machines, any order),
+// collect the pairs into one directory, and --merge reassembles the full
+// campaign bit-identical to an unsharded run. See docs/CAMPAIGNS.md.
 #include <cstdio>
 #include <fstream>
 #include <memory>
 
 #include "core/critical_value.h"
 #include "io/args.h"
+#include "io/campaign_io.h"
 #include "io/plot.h"
 #include "io/table.h"
 #include "metrics/convergence.h"
@@ -49,6 +59,25 @@ std::vector<std::string> split_csv(const std::string& list) {
   return out;
 }
 
+ShardSpec parse_shard(const std::string& s) {
+  try {
+    const std::size_t slash = s.find('/');
+    if (slash == std::string::npos) throw std::invalid_argument(s);
+    std::size_t index_end = 0;
+    std::size_t count_end = 0;
+    ShardSpec spec;
+    spec.index = std::stoull(s.substr(0, slash), &index_end);
+    spec.count = std::stoull(s.substr(slash + 1), &count_end);
+    if (index_end != slash || count_end != s.size() - slash - 1) {
+      throw std::invalid_argument(s);
+    }
+    return spec;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--shard expects i/N (e.g. 0/3), got '" + s +
+                                "'");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,12 +102,18 @@ int main(int argc, char** argv) {
   const std::string algos_flag = args.get_string("algos", "ant");
   const auto replicates = args.get_int("replicates", 2);
   const std::string csv_path = args.get_string("csv", "");
+  const std::string shard_flag = args.get_string("shard", "");
+  const std::string out_dir = args.get_string("out", "");
+  const std::string merge_dir = args.get_string("merge", "");
+  const bool list_scenarios = args.get_bool("list-scenarios", false);
+  const bool list_algos = args.get_bool("list-algos", false);
   const bool help = args.get_bool("help", false);
   if (help) {
     std::printf("%s\n", args.help().c_str());
     std::printf("algos:");
     for (const auto& a : algorithm_names()) std::printf(" %s", a.c_str());
-    std::printf("\nscenarios (--campaign=true; --scenarios=all or a comma "
+    std::printf("  (--list-algos for descriptions)\n");
+    std::printf("scenarios (--campaign=true; --scenarios=all or a comma "
                 "list):\n");
     for (const auto& s : scenario_names()) {
       std::printf("  %-18s %s\n", s.c_str(),
@@ -86,9 +121,63 @@ int main(int argc, char** argv) {
     }
     std::printf("noise: sigmoid | adv | exact; engine: auto | agent | "
                 "aggregate; initial: idle | uniform | adversarial | random\n");
+    std::printf("sharding: --shard=i/N --out=DIR to run and persist one "
+                "shard, --merge=DIR to reassemble (docs/CAMPAIGNS.md)\n");
     return 0;
   }
   args.check_unknown();
+
+  // Registry listings: the discoverability entry points (no run needed).
+  if (list_scenarios || list_algos) {
+    if (list_algos) {
+      std::printf("registered algorithms:\n");
+      for (const auto& a : algorithm_names()) {
+        std::printf("  %-20s %s%s\n", a.c_str(),
+                    std::string(algorithm_description(a)).c_str(),
+                    has_aggregate_kernel(a) ? "" : " [agent engine only]");
+      }
+    }
+    if (list_scenarios) {
+      if (list_algos) std::printf("\n");
+      std::printf("registered scenario families:\n");
+      for (const auto& s : scenario_names()) {
+        std::printf("  %-20s %s\n", s.c_str(),
+                    std::string(scenario_description(s)).c_str());
+      }
+    }
+    return 0;
+  }
+
+  // Merge mode: reassemble a sharded campaign from a directory of shard
+  // CSV/manifest pairs. Refuses mismatched or incomplete shard sets.
+  if (!merge_dir.empty()) {
+    const MergedCampaign merged = merge_campaign_dir(merge_dir);
+    std::printf("merged %lld cells from %lld shards (config %016llx)\n\n",
+                static_cast<long long>(merged.total_cells),
+                static_cast<long long>(merged.shard_count),
+                static_cast<unsigned long long>(merged.config_hash));
+    std::printf("%s\n", merged.result.table().render().c_str());
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      out << merged.result.to_csv();
+      if (out.good()) {
+        std::printf("[csv written to %s]\n", csv_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: could not write %s\n", csv_path.c_str());
+        return 2;
+      }
+    }
+    return 0;
+  }
+
+  // Sharding flags only mean something for a campaign: a worker that ran
+  // with --shard but without --campaign must fail here, not produce nothing
+  // and be discovered at merge time.
+  if (!campaign_mode && (!shard_flag.empty() || !out_dir.empty())) {
+    throw std::invalid_argument(
+        "--shard/--out require --campaign=true (sharding partitions the "
+        "campaign matrix; see docs/CAMPAIGNS.md)");
+  }
 
   // Parse the string flags into enums once, at the boundary.
   const Engine engine = parse_engine(engine_name);
@@ -141,16 +230,35 @@ int main(int argc, char** argv) {
     campaign.seed = seed;
     campaign.replicates = replicates;
     campaign.metrics.gamma = gamma;
+    if (!shard_flag.empty()) campaign.shard = parse_shard(shard_flag);
 
     std::printf("campaign: %lld scenarios x %lld algos on %s, n=%lld, k=%d, "
-                "%lld rounds x %lld replicates\n\n",
+                "%lld rounds x %lld replicates\n",
                 static_cast<long long>(campaign.scenarios.size()),
                 static_cast<long long>(campaign.algos.size()),
                 noise_spec.name.c_str(), static_cast<long long>(n), k,
                 static_cast<long long>(rounds),
                 static_cast<long long>(replicates));
+    if (campaign.shard.count > 1) {
+      std::printf("shard %lld/%lld: %lld of %lld cells (config %016llx)\n",
+                  static_cast<long long>(campaign.shard.index),
+                  static_cast<long long>(campaign.shard.count),
+                  static_cast<long long>(
+                      shard_cell_indices(campaign_total_cells(campaign),
+                                         campaign.shard)
+                          .size()),
+                  static_cast<long long>(campaign_total_cells(campaign)),
+                  static_cast<unsigned long long>(
+                      campaign_config_hash(campaign)));
+    }
+    std::printf("\n");
     const CampaignResult result = run_campaign(campaign);
     std::printf("%s\n", result.table().render().c_str());
+    if (!out_dir.empty()) {
+      const std::string manifest =
+          write_campaign_shard(out_dir, campaign, result);
+      std::printf("[shard written: %s]\n", manifest.c_str());
+    }
     if (!csv_path.empty()) {
       std::ofstream out(csv_path);
       out << result.to_csv();

@@ -47,6 +47,38 @@ std::vector<std::string> in_model_algorithm_names() {
           "sharp-threshold"};
 }
 
+std::string_view algorithm_description(const std::string& name) {
+  if (name == "ant") {
+    return "Algorithm Ant (Thm 3.1): join on lack, leave on overload with "
+           "probability gamma — O(1) memory, 5*gamma*d regret band";
+  }
+  if (name == "precise-sigmoid") {
+    return "Precise Sigmoid (Thm 3.2): median-of-samples deficit estimation "
+           "under sigmoid noise, epsilon*d-close allocation";
+  }
+  if (name == "precise-adversarial") {
+    return "Precise Adversarial (Thm 3.6): binary-search committees robust "
+           "to the grey-zone adversary";
+  }
+  if (name == "trivial") {
+    return "Appendix-D reactive rule: join/leave on the raw signal every "
+           "round — fast but oscillates";
+  }
+  if (name == "sharp-threshold") {
+    return "sharp-threshold ablation: Ant with the grey zone collapsed to a "
+           "step at the exact demand";
+  }
+  if (name == "threshold") {
+    return "response-threshold baseline from the biology literature "
+           "(per-ant heterogeneous thresholds)";
+  }
+  if (name == "oracle") {
+    return "out-of-model centralized oracle: knows the demands, allocates "
+           "exactly — the regret floor";
+  }
+  unknown(name);
+}
+
 bool has_aggregate_kernel(const std::string& name) {
   return name != "threshold";
 }

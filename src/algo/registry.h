@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "algo/algorithm.h"
@@ -37,6 +38,11 @@ std::vector<std::string> algorithm_names();
 // The paper's in-model algorithms only (excludes the oracle, which knows the
 // demands, and the threshold baseline) — what lower-bound benches iterate.
 std::vector<std::string> in_model_algorithm_names();
+
+// One-line description of a registered algorithm (CLI --list-algos, docs);
+// throws std::invalid_argument on unknown names, mirroring
+// scenario_description in sim/scenario.h.
+std::string_view algorithm_description(const std::string& name);
 
 // Whether an exact count-level kernel exists for this algorithm. Which
 // noise models that kernel simulates exactly is the kernel's own business:

@@ -125,7 +125,12 @@ class DemandSchedule {
   // Segment-index access for per-round hot loops: one binary search yields
   // the index, and the engines detect lifecycle boundaries by index change
   // instead of re-searching for the active set and deep-comparing it every
-  // round.
+  // round. num_segments/segment_start additionally let content fingerprints
+  // (campaign config hashes) walk the whole schedule without probing rounds.
+  std::size_t num_segments() const { return segments_.size(); }
+  Round segment_start(std::size_t index) const {
+    return segments_[index].start;
+  }
   std::size_t segment_index_at(Round t) const;
   const DemandVector& segment_demands(std::size_t index) const {
     return segments_[index].demands;

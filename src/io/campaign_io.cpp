@@ -1,0 +1,513 @@
+#include "io/campaign_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "io/csv.h"
+#include "rng/splitmix.h"
+
+namespace antalloc {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kFormatLine = "format antalloc-campaign-shard-v1";
+
+// Rows are keyed by the accumulator STATE of each statistic (count, mean,
+// m2, min, max), not by the derived mean/ci the human-facing table prints:
+// restoring the exact Welford state is what makes the merged result
+// bit-identical to the unsharded run.
+constexpr const char* kRowsHeader =
+    "cell,scenario,algo,noise,engine,"
+    "regret_count,regret_mean,regret_m2,regret_min,regret_max,"
+    "violations_count,violations_mean,violations_m2,violations_min,"
+    "violations_max,switches_per_ant_round";
+constexpr std::size_t kRowsColumns = 16;
+
+constexpr const char* kResultsHeader =
+    "cell,replicate,rounds,n_ants,total_regret,regret_plus,regret_near,"
+    "regret_minus,post_warmup_rounds,post_warmup_regret,violation_rounds,"
+    "switches,final_loads";
+constexpr std::size_t kResultsColumns = 13;
+
+// %.17g round-trips every finite IEEE double exactly; the merged stats are
+// therefore the same bits the shard computed.
+std::string fmt_f64(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string fmt_i64(std::int64_t v) { return std::to_string(v); }
+
+std::vector<std::string> csv_split(const std::string& line,
+                                   const std::string& context) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (quoted) {
+    throw std::runtime_error(context + ": unterminated quote in '" + line +
+                             "'");
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+double parse_f64(const std::string& s, const std::string& context) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(context + ": bad number '" + s + "'");
+  }
+}
+
+std::int64_t parse_i64(const std::string& s, const std::string& context) {
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t v = std::stoll(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(context + ": bad integer '" + s + "'");
+  }
+}
+
+std::uint64_t parse_hex(const std::string& s, const std::string& context) {
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t v = std::stoull(s, &consumed, 16);
+    if (consumed != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(context + ": bad hex value '" + s + "'");
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out.good()) throw std::runtime_error("cannot write " + path);
+}
+
+std::string append_stats(const RunningStats& stats) {
+  const RunningStats::State s = stats.state();
+  return fmt_i64(s.count) + "," + fmt_f64(s.mean) + "," + fmt_f64(s.m2) +
+         "," + fmt_f64(s.min) + "," + fmt_f64(s.max);
+}
+
+RunningStats stats_from_fields(const std::vector<std::string>& fields,
+                               std::size_t first,
+                               const std::string& context) {
+  RunningStats::State s;
+  s.count = parse_i64(fields[first], context);
+  s.mean = parse_f64(fields[first + 1], context);
+  s.m2 = parse_f64(fields[first + 2], context);
+  s.min = parse_f64(fields[first + 3], context);
+  s.max = parse_f64(fields[first + 4], context);
+  return RunningStats::from_state(s);
+}
+
+std::string rows_csv(const CampaignResult& result) {
+  std::string out = std::string(kRowsHeader) + "\n";
+  for (const CampaignCell& cell : result.cells) {
+    out += fmt_i64(static_cast<std::int64_t>(cell.flat_index)) + ",";
+    out += csv_escape(cell.scenario) + ",";
+    out += csv_escape(cell.algo) + ",";
+    out += csv_escape(cell.noise) + ",";
+    out += std::string(to_string(cell.engine)) + ",";
+    out += append_stats(cell.regret) + ",";
+    out += append_stats(cell.violations) + ",";
+    out += fmt_f64(cell.switches_per_ant_round) + "\n";
+  }
+  return out;
+}
+
+std::string results_csv(const CampaignResult& result) {
+  std::string out = std::string(kResultsHeader) + "\n";
+  for (const CampaignCell& cell : result.cells) {
+    for (std::size_t r = 0; r < cell.results.size(); ++r) {
+      const SimResult& res = cell.results[r];
+      out += fmt_i64(static_cast<std::int64_t>(cell.flat_index)) + ",";
+      out += fmt_i64(static_cast<std::int64_t>(r)) + ",";
+      out += fmt_i64(res.rounds) + ",";
+      out += fmt_i64(res.n_ants) + ",";
+      out += fmt_f64(res.total_regret) + ",";
+      out += fmt_f64(res.regret_plus) + ",";
+      out += fmt_f64(res.regret_near) + ",";
+      out += fmt_f64(res.regret_minus) + ",";
+      out += fmt_i64(res.post_warmup_rounds) + ",";
+      out += fmt_f64(res.post_warmup_regret) + ",";
+      out += fmt_i64(res.violation_rounds) + ",";
+      out += fmt_i64(res.switches) + ",";
+      std::string loads;
+      for (const Count w : res.final_loads) {
+        if (!loads.empty()) loads += ';';
+        loads += fmt_i64(w);
+      }
+      out += loads + "\n";
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> data_lines(const std::string& content,
+                                    const char* expected_header,
+                                    const std::string& context) {
+  std::vector<std::string> lines;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+  }
+  if (lines.empty() || lines.front() != expected_header) {
+    throw std::runtime_error(context + ": missing or unexpected header row");
+  }
+  lines.erase(lines.begin());
+  return lines;
+}
+
+CampaignCell parse_row(const std::string& line, const std::string& context) {
+  const auto fields = csv_split(line, context);
+  if (fields.size() != kRowsColumns) {
+    throw std::runtime_error(context + ": expected " +
+                             std::to_string(kRowsColumns) + " fields, got " +
+                             std::to_string(fields.size()));
+  }
+  CampaignCell cell;
+  cell.flat_index = static_cast<std::size_t>(parse_i64(fields[0], context));
+  cell.scenario = fields[1];
+  cell.algo = fields[2];
+  cell.noise = fields[3];
+  cell.engine = parse_engine(fields[4]);
+  cell.regret = stats_from_fields(fields, 5, context);
+  cell.violations = stats_from_fields(fields, 10, context);
+  cell.switches_per_ant_round = parse_f64(fields[15], context);
+  return cell;
+}
+
+void attach_results(CampaignResult& shard, const std::string& content,
+                    std::int64_t replicates, const std::string& context) {
+  std::map<std::size_t, CampaignCell*> by_index;
+  for (CampaignCell& cell : shard.cells) by_index[cell.flat_index] = &cell;
+
+  for (const std::string& line :
+       data_lines(content, kResultsHeader, context)) {
+    const auto fields = csv_split(line, context);
+    if (fields.size() != kResultsColumns) {
+      throw std::runtime_error(context + ": expected " +
+                               std::to_string(kResultsColumns) +
+                               " fields, got " +
+                               std::to_string(fields.size()));
+    }
+    const auto cell_index =
+        static_cast<std::size_t>(parse_i64(fields[0], context));
+    const auto it = by_index.find(cell_index);
+    if (it == by_index.end()) {
+      throw std::runtime_error(context + ": replicate row for unknown cell " +
+                               std::to_string(cell_index));
+    }
+    const std::int64_t replicate = parse_i64(fields[1], context);
+    if (replicate !=
+        static_cast<std::int64_t>(it->second->results.size())) {
+      throw std::runtime_error(context + ": replicate rows for cell " +
+                               std::to_string(cell_index) + " out of order");
+    }
+    SimResult res;
+    res.rounds = parse_i64(fields[2], context);
+    res.n_ants = parse_i64(fields[3], context);
+    res.total_regret = parse_f64(fields[4], context);
+    res.regret_plus = parse_f64(fields[5], context);
+    res.regret_near = parse_f64(fields[6], context);
+    res.regret_minus = parse_f64(fields[7], context);
+    res.post_warmup_rounds = parse_i64(fields[8], context);
+    res.post_warmup_regret = parse_f64(fields[9], context);
+    res.violation_rounds = parse_i64(fields[10], context);
+    res.switches = parse_i64(fields[11], context);
+    std::istringstream loads(fields[12]);
+    std::string item;
+    while (std::getline(loads, item, ';')) {
+      res.final_loads.push_back(parse_i64(item, context));
+    }
+    it->second->results.push_back(std::move(res));
+  }
+
+  for (const CampaignCell& cell : shard.cells) {
+    if (static_cast<std::int64_t>(cell.results.size()) != replicates) {
+      throw std::runtime_error(context + ": cell " +
+                               std::to_string(cell.flat_index) + " has " +
+                               std::to_string(cell.results.size()) + " of " +
+                               std::to_string(replicates) +
+                               " replicate rows");
+    }
+  }
+}
+
+}  // namespace
+
+std::string write_campaign_shard(const std::string& dir,
+                                 const CampaignConfig& cfg,
+                                 const CampaignResult& result) {
+  const std::size_t total = campaign_total_cells(cfg);
+  const auto expected = shard_cell_indices(total, cfg.shard);
+  if (result.cells.size() != expected.size()) {
+    throw std::invalid_argument(
+        "write_campaign_shard: result has " +
+        std::to_string(result.cells.size()) + " cells, shard " +
+        std::to_string(cfg.shard.index) + "/" +
+        std::to_string(cfg.shard.count) + " owns " +
+        std::to_string(expected.size()));
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (result.cells[i].flat_index != expected[i]) {
+      throw std::invalid_argument(
+          "write_campaign_shard: cell " + std::to_string(i) +
+          " has flat index " + std::to_string(result.cells[i].flat_index) +
+          ", shard expects " + std::to_string(expected[i]) +
+          " (was the result produced by this config's shard?)");
+    }
+  }
+
+  fs::create_directories(dir);
+  const std::string stem = "shard-" + std::to_string(cfg.shard.index) +
+                           "-of-" + std::to_string(cfg.shard.count);
+
+  const std::string rows = rows_csv(result);
+  const std::string rows_name = stem + ".csv";
+  write_file((fs::path(dir) / rows_name).string(), rows);
+
+  std::string results_name;
+  std::uint64_t results_checksum = 0;
+  if (cfg.keep_results) {
+    const std::string results = results_csv(result);
+    results_name = stem + ".results.csv";
+    results_checksum = rng::hash_string(results);
+    write_file((fs::path(dir) / results_name).string(), results);
+  }
+
+  std::string manifest = std::string(kFormatLine) + "\n";
+  manifest += "config_hash " + fmt_hex(campaign_config_hash(cfg)) + "\n";
+  manifest += "shard_index " + std::to_string(cfg.shard.index) + "\n";
+  manifest += "shard_count " + std::to_string(cfg.shard.count) + "\n";
+  manifest += "total_cells " + std::to_string(total) + "\n";
+  manifest += "shard_cells " + std::to_string(result.cells.size()) + "\n";
+  manifest += "replicates " + std::to_string(cfg.replicates) + "\n";
+  manifest += std::string("keep_results ") + (cfg.keep_results ? "1" : "0") +
+              "\n";
+  manifest += "rows " + rows_name + "\n";
+  manifest += "rows_checksum " + fmt_hex(rng::hash_string(rows)) + "\n";
+  if (cfg.keep_results) {
+    manifest += "results " + results_name + "\n";
+    manifest += "results_checksum " + fmt_hex(results_checksum) + "\n";
+  }
+
+  const std::string manifest_path =
+      (fs::path(dir) / (stem + ".manifest")).string();
+  write_file(manifest_path, manifest);
+  return manifest_path;
+}
+
+ShardManifest read_shard_manifest(const std::string& path) {
+  const std::string content = read_file(path);
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line) || line != kFormatLine) {
+    throw std::runtime_error(path + ": not an antalloc-campaign-shard-v1 "
+                             "manifest");
+  }
+  std::map<std::string, std::string> kv;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      throw std::runtime_error(path + ": bad manifest line '" + line + "'");
+    }
+    kv[line.substr(0, space)] = line.substr(space + 1);
+  }
+  const auto require = [&](const std::string& key) -> const std::string& {
+    const auto it = kv.find(key);
+    if (it == kv.end()) {
+      throw std::runtime_error(path + ": manifest missing '" + key + "'");
+    }
+    return it->second;
+  };
+
+  ShardManifest m;
+  m.config_hash = parse_hex(require("config_hash"), path);
+  m.shard_index =
+      static_cast<std::size_t>(parse_i64(require("shard_index"), path));
+  m.shard_count =
+      static_cast<std::size_t>(parse_i64(require("shard_count"), path));
+  m.total_cells =
+      static_cast<std::size_t>(parse_i64(require("total_cells"), path));
+  m.shard_cells =
+      static_cast<std::size_t>(parse_i64(require("shard_cells"), path));
+  m.replicates = parse_i64(require("replicates"), path);
+  m.keep_results = require("keep_results") == "1";
+  m.rows_file = require("rows");
+  m.rows_checksum = parse_hex(require("rows_checksum"), path);
+  if (m.keep_results) {
+    m.results_file = require("results");
+    m.results_checksum = parse_hex(require("results_checksum"), path);
+  }
+  return m;
+}
+
+CampaignResult read_campaign_shard(const std::string& dir,
+                                   const ShardManifest& manifest) {
+  const std::string rows_path =
+      (fs::path(dir) / manifest.rows_file).string();
+  const std::string rows = read_file(rows_path);
+  if (rng::hash_string(rows) != manifest.rows_checksum) {
+    throw std::runtime_error(rows_path +
+                             ": checksum mismatch (file corrupted or edited "
+                             "after the shard ran)");
+  }
+
+  CampaignResult shard;
+  for (const std::string& line : data_lines(rows, kRowsHeader, rows_path)) {
+    shard.cells.push_back(parse_row(line, rows_path));
+  }
+  if (shard.cells.size() != manifest.shard_cells) {
+    throw std::runtime_error(rows_path + ": manifest promises " +
+                             std::to_string(manifest.shard_cells) +
+                             " cells, file has " +
+                             std::to_string(shard.cells.size()));
+  }
+
+  if (manifest.keep_results) {
+    const std::string results_path =
+        (fs::path(dir) / manifest.results_file).string();
+    const std::string results = read_file(results_path);
+    if (rng::hash_string(results) != manifest.results_checksum) {
+      throw std::runtime_error(results_path + ": checksum mismatch");
+    }
+    attach_results(shard, results, manifest.replicates, results_path);
+  }
+  return shard;
+}
+
+MergedCampaign merge_campaign_dir(const std::string& dir) {
+  std::vector<std::string> manifest_paths;
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("merge_campaign_dir: " + dir +
+                             " is not a directory");
+  }
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() &&
+        entry.path().extension() == ".manifest") {
+      manifest_paths.push_back(entry.path().string());
+    }
+  }
+  if (manifest_paths.empty()) {
+    throw std::runtime_error("merge_campaign_dir: no *.manifest files in " +
+                             dir);
+  }
+  std::sort(manifest_paths.begin(), manifest_paths.end());
+
+  std::vector<ShardManifest> manifests;
+  for (const std::string& path : manifest_paths) {
+    manifests.push_back(read_shard_manifest(path));
+  }
+
+  const ShardManifest& first = manifests.front();
+  std::vector<std::uint8_t> seen(first.shard_count, 0);
+  for (std::size_t i = 0; i < manifests.size(); ++i) {
+    const ShardManifest& m = manifests[i];
+    if (m.config_hash != first.config_hash) {
+      throw std::runtime_error(
+          manifest_paths[i] + ": config hash " + fmt_hex(m.config_hash) +
+          " does not match " + fmt_hex(first.config_hash) + " from " +
+          manifest_paths.front() +
+          " (shards must come from identical campaign configs)");
+    }
+    if (m.shard_count != first.shard_count ||
+        m.total_cells != first.total_cells ||
+        m.replicates != first.replicates ||
+        m.keep_results != first.keep_results) {
+      throw std::runtime_error(manifest_paths[i] +
+                               ": shard shape disagrees with " +
+                               manifest_paths.front());
+    }
+    if (m.shard_index >= m.shard_count) {
+      throw std::runtime_error(manifest_paths[i] + ": shard index " +
+                               std::to_string(m.shard_index) +
+                               " out of range");
+    }
+    if (seen[m.shard_index]) {
+      throw std::runtime_error(manifest_paths[i] + ": duplicate shard " +
+                               std::to_string(m.shard_index));
+    }
+    seen[m.shard_index] = 1;
+  }
+  for (std::size_t i = 0; i < first.shard_count; ++i) {
+    if (!seen[i]) {
+      throw std::runtime_error("merge_campaign_dir: shard " +
+                               std::to_string(i) + " of " +
+                               std::to_string(first.shard_count) +
+                               " missing from " + dir);
+    }
+  }
+
+  std::vector<CampaignResult> shards;
+  shards.reserve(manifests.size());
+  for (const ShardManifest& m : manifests) {
+    shards.push_back(read_campaign_shard(dir, m));
+  }
+
+  MergedCampaign merged;
+  merged.result =
+      merge_campaign_shards(std::move(shards), first.total_cells);
+  merged.config_hash = first.config_hash;
+  merged.shard_count = first.shard_count;
+  merged.total_cells = first.total_cells;
+  return merged;
+}
+
+}  // namespace antalloc

@@ -1,0 +1,85 @@
+// Campaign shard files: the disk form of a sharded campaign run.
+//
+// A shard process (run_campaign with a ShardSpec) persists its slice of the
+// matrix as a self-describing pair in an output directory:
+//
+//   shard-<i>-of-<N>.csv        one row per cell: labels + the full
+//                               RunningStats accumulator state of each
+//                               statistic, doubles printed with %.17g so
+//                               they parse back bit-identical;
+//   shard-<i>-of-<N>.manifest   key-value provenance: the campaign config
+//                               hash, shard coordinates, row counts and an
+//                               FNV-1a checksum of each data file;
+//   shard-<i>-of-<N>.results.csv (keep_results only) one row per replicate
+//                               with the SimResult scalar fields and final
+//                               loads.
+//
+// merge_campaign_dir scans a directory for manifests, refuses anything
+// inconsistent (mismatched config hashes, wrong or duplicate shard indices,
+// missing shards, checksum failures) and reassembles the full
+// CampaignResult bit-identical to an unsharded run of the same config —
+// campaign_shard_test pins the byte-equality. The one non-round-tripped
+// field is SimResult::trace: traces are in-memory payloads (consume them in
+// the shard process, or re-run the cell locally — it is deterministic).
+//
+// docs/CAMPAIGNS.md walks the end-to-end workflows (single machine, CI
+// matrix, ad-hoc cluster); the partition/seeding design is in
+// src/sim/campaign.h and the sharding section of docs/ARCHITECTURE.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/campaign.h"
+
+namespace antalloc {
+
+// Parsed manifest of one shard. File names are relative to the directory
+// the manifest lives in.
+struct ShardManifest {
+  std::uint64_t config_hash = 0;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::size_t total_cells = 0;
+  std::size_t shard_cells = 0;
+  std::int64_t replicates = 1;
+  bool keep_results = false;
+  std::string rows_file;
+  std::uint64_t rows_checksum = 0;  // FNV-1a over the file's bytes
+  std::string results_file;         // empty unless keep_results
+  std::uint64_t results_checksum = 0;
+};
+
+// Writes `result` (the cells cfg.shard owns) as the CSV/manifest pair into
+// `dir` (created if missing); `cfg` must be the config the shard ran —
+// write refuses a result whose cell count does not match the shard's slice
+// of cfg. Returns the manifest path. Throws std::runtime_error on I/O
+// failure, std::invalid_argument on a cfg/result mismatch.
+std::string write_campaign_shard(const std::string& dir,
+                                 const CampaignConfig& cfg,
+                                 const CampaignResult& result);
+
+// Parses one manifest file. Throws std::runtime_error on missing keys or a
+// format line this version does not understand.
+ShardManifest read_shard_manifest(const std::string& path);
+
+// Reads one shard's cells back, verifying the data files against the
+// manifest checksums. Throws std::runtime_error on corruption.
+CampaignResult read_campaign_shard(const std::string& dir,
+                                   const ShardManifest& manifest);
+
+struct MergedCampaign {
+  CampaignResult result;
+  std::uint64_t config_hash = 0;
+  std::size_t shard_count = 0;
+  std::size_t total_cells = 0;
+};
+
+// Scans `dir` for *.manifest files and merges the complete shard set.
+// Refuses (std::runtime_error): no manifests; manifests disagreeing on
+// config_hash, shard_count, total_cells, replicates or keep_results;
+// duplicate or missing shard indices; checksum mismatches. The merged
+// result is bit-identical to the unsharded run of the same config.
+MergedCampaign merge_campaign_dir(const std::string& dir);
+
+}  // namespace antalloc

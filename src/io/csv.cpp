@@ -4,6 +4,17 @@
 
 namespace antalloc {
 
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 CsvWriter::CsvWriter(const std::string& path,
                      std::span<const std::string> columns)
     : path_(path), out_(path), columns_(columns.size()) {

@@ -9,6 +9,12 @@
 
 namespace antalloc {
 
+// RFC-4180 escaping for one cell: quoted (with doubled inner quotes) only
+// when the value contains a comma, quote or newline. Shared by Table::to_csv
+// and the campaign shard writer — the shard format's bit-identity contract
+// depends on both producers escaping identically.
+std::string csv_escape(const std::string& cell);
+
 class CsvWriter {
  public:
   // Opens (truncates) `path` and writes the header row. Throws on failure.

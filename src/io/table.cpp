@@ -5,21 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/csv.h"
+
 namespace antalloc {
-namespace {
-
-std::string csv_escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
-  std::string out = "\"";
-  for (const char c : cell) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
-}  // namespace
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
   if (headers_.empty()) throw std::invalid_argument("Table: no headers");

@@ -3,7 +3,9 @@
 // Number Generators" (OOPSLA 2014); public-domain constants.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace antalloc::rng {
 
@@ -38,6 +40,23 @@ constexpr std::uint64_t hash_words(std::uint64_t a, std::uint64_t b,
 constexpr std::uint64_t hash_words(std::uint64_t a, std::uint64_t b,
                                    std::uint64_t c, std::uint64_t d) noexcept {
   return hash_combine(hash_words(a, b, c), d);
+}
+
+// FNV-1a over a byte string. Used for content fingerprints (campaign config
+// hashes, shard-file checksums) where the input is variable-length text
+// rather than coordinate words; feed the result into hash_combine to mix it
+// with word-shaped coordinates.
+constexpr std::uint64_t hash_bytes(const char* data, std::size_t size) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return h;
+}
+
+inline std::uint64_t hash_string(std::string_view s) noexcept {
+  return hash_bytes(s.data(), s.size());
 }
 
 }  // namespace antalloc::rng

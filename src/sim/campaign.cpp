@@ -1,11 +1,37 @@
 #include "sim/campaign.h"
 
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
 #include "rng/splitmix.h"
 
 namespace antalloc {
+
+namespace {
+
+void validate_shard(const ShardSpec& shard) {
+  if (shard.count == 0) {
+    throw std::invalid_argument("ShardSpec: count >= 1");
+  }
+  if (shard.index >= shard.count) {
+    throw std::invalid_argument("ShardSpec: index < count");
+  }
+}
+
+std::uint64_t mix_str(std::uint64_t h, std::string_view s) {
+  return rng::hash_combine(h, rng::hash_string(s));
+}
+
+std::uint64_t mix_f64(std::uint64_t h, double v) {
+  return rng::hash_combine(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) {
+  return rng::hash_combine(h, v);
+}
+
+}  // namespace
 
 Table CampaignResult::table() const {
   Table t({"scenario", "algo", "noise", "engine", "replicates", "regret_mean",
@@ -47,10 +73,11 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   if (cfg.replicates < 1) {
     throw std::invalid_argument("run_campaign: replicates >= 1");
   }
+  validate_shard(cfg.shard);
 
   CampaignResult out;
-  out.cells.reserve(cfg.scenarios.size() * cfg.algos.size() *
-                    cfg.noises.size());
+  out.cells.reserve(
+      shard_cell_indices(campaign_total_cells(cfg), cfg.shard).size());
 
   for (std::size_t si = 0; si < cfg.scenarios.size(); ++si) {
     const Scenario& scenario = cfg.scenarios[si];
@@ -58,6 +85,9 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
       const AlgoConfig& algo = cfg.algos[ai];
       for (std::size_t ni = 0; ni < cfg.noises.size(); ++ni) {
         const NoiseSpec& noise = cfg.noises[ni];
+        const std::size_t flat =
+            (si * cfg.algos.size() + ai) * cfg.noises.size() + ni;
+        if (!shard_owns(cfg.shard, flat)) continue;
 
         ExperimentConfig ecfg;
         ecfg.algo = algo;
@@ -75,6 +105,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         if (ecfg.metrics.warmup == 0) ecfg.metrics.warmup = cfg.rounds / 2;
 
         CampaignCell cell;
+        cell.flat_index = flat;
         cell.scenario = scenario.name;
         cell.algo = algo.name;
         cell.noise = noise.name;
@@ -107,6 +138,115 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
       }
     }
   }
+  return out;
+}
+
+std::size_t campaign_total_cells(const CampaignConfig& cfg) {
+  return cfg.scenarios.size() * cfg.algos.size() * cfg.noises.size();
+}
+
+bool shard_owns(const ShardSpec& shard, std::size_t flat_index) {
+  validate_shard(shard);
+  return flat_index % shard.count == shard.index;
+}
+
+std::vector<std::size_t> shard_cell_indices(std::size_t total_cells,
+                                            const ShardSpec& shard) {
+  validate_shard(shard);
+  std::vector<std::size_t> indices;
+  indices.reserve(total_cells / shard.count + 1);
+  for (std::size_t flat = shard.index; flat < total_cells;
+       flat += shard.count) {
+    indices.push_back(flat);
+  }
+  return indices;
+}
+
+std::uint64_t campaign_config_hash(const CampaignConfig& cfg) {
+  std::uint64_t h = rng::hash_string("antalloc-campaign-v1");
+
+  h = mix_u64(h, cfg.scenarios.size());
+  for (const Scenario& sc : cfg.scenarios) {
+    h = mix_str(h, sc.name);
+    h = mix_str(h, sc.family);
+    h = mix_u64(h, static_cast<std::uint64_t>(sc.initial));
+    h = mix_u64(h, sc.initial_loads.size());
+    for (const Count c : sc.initial_loads) {
+      h = mix_u64(h, static_cast<std::uint64_t>(c));
+    }
+    const DemandSchedule& sched = sc.schedule;
+    h = mix_u64(h, sched.num_segments());
+    for (std::size_t i = 0; i < sched.num_segments(); ++i) {
+      h = mix_u64(h, static_cast<std::uint64_t>(sched.segment_start(i)));
+      for (const Count c : sched.segment_demands(i).values()) {
+        h = mix_u64(h, static_cast<std::uint64_t>(c));
+      }
+      const ActiveSet& active = sched.segment_active(i);
+      for (TaskId j = 0; j < active.num_tasks(); ++j) {
+        h = mix_u64(h, active[j] ? 1u : 0u);
+      }
+    }
+  }
+
+  h = mix_u64(h, cfg.algos.size());
+  for (const AlgoConfig& algo : cfg.algos) {
+    h = mix_str(h, algo.name);
+    h = mix_f64(h, algo.gamma);
+    h = mix_f64(h, algo.epsilon);
+    h = mix_f64(h, algo.cs);
+    h = mix_f64(h, algo.cd);
+    h = mix_f64(h, algo.cchi);
+    h = mix_u64(h, algo.verbatim_leave_probability ? 1u : 0u);
+  }
+
+  h = mix_u64(h, cfg.noises.size());
+  for (const NoiseSpec& noise : cfg.noises) h = mix_str(h, noise.name);
+
+  h = mix_u64(h, static_cast<std::uint64_t>(cfg.engine));
+  h = mix_u64(h, static_cast<std::uint64_t>(cfg.n_ants));
+  h = mix_u64(h, static_cast<std::uint64_t>(cfg.rounds));
+  h = mix_u64(h, cfg.seed);
+  h = mix_u64(h, static_cast<std::uint64_t>(cfg.replicates));
+  h = mix_f64(h, cfg.metrics.gamma);
+  h = mix_f64(h, cfg.metrics.bands.cs);
+  h = mix_f64(h, cfg.metrics.bands.cd);
+  h = mix_u64(h, static_cast<std::uint64_t>(cfg.metrics.warmup));
+  h = mix_u64(h, static_cast<std::uint64_t>(cfg.metrics.trace_stride));
+  h = mix_u64(h, cfg.keep_results ? 1u : 0u);
+  h = mix_u64(h, cfg.pair_noise_seeds ? 1u : 0u);
+  return h;
+}
+
+CampaignResult merge_campaign_shards(std::vector<CampaignResult> shards,
+                                     std::size_t total_cells) {
+  std::vector<CampaignCell> slots(total_cells);
+  std::vector<std::uint8_t> seen(total_cells, 0);
+  std::size_t filled = 0;
+  for (CampaignResult& shard : shards) {
+    for (CampaignCell& cell : shard.cells) {
+      if (cell.flat_index >= total_cells) {
+        throw std::invalid_argument(
+            "merge_campaign_shards: cell index " +
+            std::to_string(cell.flat_index) + " out of range (total " +
+            std::to_string(total_cells) + ")");
+      }
+      if (seen[cell.flat_index]) {
+        throw std::invalid_argument("merge_campaign_shards: duplicate cell " +
+                                    std::to_string(cell.flat_index));
+      }
+      seen[cell.flat_index] = 1;
+      slots[cell.flat_index] = std::move(cell);
+      ++filled;
+    }
+  }
+  if (filled != total_cells) {
+    throw std::invalid_argument(
+        "merge_campaign_shards: incomplete shard set (" +
+        std::to_string(filled) + " of " + std::to_string(total_cells) +
+        " cells)");
+  }
+  CampaignResult out;
+  out.cells = std::move(slots);
   return out;
 }
 

@@ -13,6 +13,14 @@
 // affected cells — and the per-replicate seeds derive from it by index
 // (run_sim_trials), so a campaign's numbers are identical for any thread
 // count. campaign_test pins this with explicit 1- and 4-thread pools.
+//
+// Sharding rides on the same property: because every cell's seed comes from
+// its matrix coordinate and nothing else, a shard (ShardSpec on the config)
+// can compute its slice of the matrix on any machine and the cells come out
+// bit-identical to an unsharded run. merge_campaign_shards reassembles the
+// full CampaignResult from shard results; the disk form (CSV + manifest
+// stamped with campaign_config_hash) lives in io/campaign_io.h, and
+// docs/CAMPAIGNS.md is the user guide for the whole workflow.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,16 @@ namespace antalloc {
 struct NoiseSpec {
   std::string name;
   ModelFactory make;
+};
+
+// Which slice of the matrix this process computes: shard `index` of `count`
+// owns every cell whose flat (scenario-major) index is ≡ index (mod count).
+// Round-robin by coordinate, so ragged matrices (cells % count != 0) spread
+// evenly and ownership never depends on which other shards exist or run.
+// The default {0, 1} is the whole matrix.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
 };
 
 struct CampaignConfig {
@@ -54,12 +72,19 @@ struct CampaignConfig {
   // adversary gallery) become paired comparisons with reduced variance.
   // Off: every cell gets independent seeds.
   bool pair_noise_seeds = false;
+  // The slice of the matrix to run (see ShardSpec). Does not enter
+  // campaign_config_hash: every shard of one campaign shares the hash, which
+  // is exactly what lets the merge check they came from the same config.
+  ShardSpec shard{};
   // nullptr = the process-global pool.
   ThreadPool* pool = nullptr;
 };
 
 // One (scenario, algo, noise) entry of the matrix.
 struct CampaignCell {
+  // Position in the full scenario-major matrix (stable across sharding —
+  // what the merge sorts by to restore unsharded cell order).
+  std::size_t flat_index = 0;
   std::string scenario;  // scenario display label
   std::string algo;
   std::string noise;
@@ -85,9 +110,45 @@ struct CampaignResult {
                            const std::string& noise = "") const;
 };
 
-// Runs the full matrix. Throws std::invalid_argument on an empty axis or on
-// a cell that cannot run (e.g. Engine::kAggregate forced for an agent-only
-// algorithm).
+// Runs the matrix — the whole thing with the default ShardSpec, or just the
+// cells cfg.shard owns. Throws std::invalid_argument on an empty axis, an
+// invalid shard (index >= count or count == 0), or a cell that cannot run
+// (e.g. Engine::kAggregate forced for an agent-only algorithm). A shard
+// that owns zero cells (count > total cells) returns an empty result.
 CampaignResult run_campaign(const CampaignConfig& cfg);
+
+// Sharding helpers. ---------------------------------------------------------
+
+// scenarios × algos × noises.
+std::size_t campaign_total_cells(const CampaignConfig& cfg);
+
+// Whether `shard` owns the cell at `flat_index`. Throws on an invalid spec.
+bool shard_owns(const ShardSpec& shard, std::size_t flat_index);
+
+// The flat indices `shard` owns out of `total_cells`, ascending. For any
+// total, the index sets of shards 0..count-1 are disjoint and their union is
+// {0, …, total_cells-1} (campaign_shard_test pins this, ragged splits
+// included).
+std::vector<std::size_t> shard_cell_indices(std::size_t total_cells,
+                                            const ShardSpec& shard);
+
+// Content fingerprint of everything that determines a campaign's numbers:
+// both axes' labels and parameters, scenario schedules segment by segment
+// (demands + active sets), engine, colony shape, seed, replicates, metrics
+// options and the seed-pairing/keep_results switches. Deliberately excluded:
+// the shard spec and thread pool (they must not affect results — that is the
+// whole point), and the noise factories' behavior (closures cannot be
+// hashed; the noise NAME stands in for it, so give distinct noise configs
+// distinct names). Two shard files merge only if their hashes agree.
+std::uint64_t campaign_config_hash(const CampaignConfig& cfg);
+
+// Reassembles the full matrix from per-shard results (cells carry their
+// flat_index). Requires the union of cell indices to be exactly
+// {0, …, total_cells-1} with no duplicates; throws std::invalid_argument
+// otherwise. The output is bit-identical to what the unsharded run_campaign
+// would have produced, including per-replicate results when keep_results
+// was on.
+CampaignResult merge_campaign_shards(std::vector<CampaignResult> shards,
+                                     std::size_t total_cells);
 
 }  // namespace antalloc

@@ -20,6 +20,17 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+RunningStats RunningStats::from_state(const State& s) {
+  if (s.count < 0) throw std::invalid_argument("RunningStats: count >= 0");
+  RunningStats stats;
+  stats.count_ = s.count;
+  stats.mean_ = s.mean;
+  stats.m2_ = s.m2;
+  stats.min_ = s.min;
+  stats.max_ = s.max;
+  return stats;
+}
+
 double RunningStats::variance() const {
   return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
 }

@@ -11,7 +11,22 @@ namespace antalloc {
 
 class RunningStats {
  public:
+  // The full accumulator state, exposed so campaign shard files can persist
+  // a statistic exactly (Welford's mean/m2 are order-dependent, so merging
+  // serialized shards must restore these bits verbatim rather than re-adding
+  // samples from rounded summaries).
+  struct State {
+    std::int64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void add(double x);
+
+  State state() const { return {count_, mean_, m2_, min_, max_}; }
+  static RunningStats from_state(const State& s);
 
   std::int64_t count() const { return count_; }
   double mean() const { return mean_; }
