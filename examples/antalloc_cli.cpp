@@ -7,9 +7,10 @@
 //   ./build/examples/antalloc_cli --algo=ant --n=65536 --k=4 --demand=4000 --lambda=0.2 --rounds=8000 --gamma=0.05 --plot=true
 //   ./build/examples/antalloc_cli --algo=precise-adversarial --noise=adv --adversary=anti-gradient --gamma_ad=0.02
 //   ./build/examples/antalloc_cli --campaign=true --scenarios=all --algos=ant,trivial --replicates=4 --csv=campaign.csv
+//   ./build/examples/antalloc_cli --campaign=true --scenarios=all --algos=ant --metrics=regret,convergence,oscillation
 //   ./build/examples/antalloc_cli --campaign=true --scenarios=all --algos=ant --shard=0/3 --out=shards/
 //   ./build/examples/antalloc_cli --merge=shards/ --csv=merged.csv
-//   ./build/examples/antalloc_cli --list-scenarios   (or --list-algos)
+//   ./build/examples/antalloc_cli --list-scenarios   (or --list-algos, --list-metrics)
 //
 // Sharding: --shard=i/N runs only the cells shard i owns and --out writes
 // them as a CSV/manifest pair; run all N shards (any machines, any order),
@@ -59,6 +60,15 @@ std::vector<std::string> split_csv(const std::string& list) {
   return out;
 }
 
+std::string default_metrics_label() {
+  std::string names;
+  for (const auto& m : default_metric_names()) {
+    if (!names.empty()) names += ",";
+    names += m;
+  }
+  return names;
+}
+
 ShardSpec parse_shard(const std::string& s) {
   try {
     const std::size_t slash = s.find('/');
@@ -105,8 +115,10 @@ int main(int argc, char** argv) {
   const std::string shard_flag = args.get_string("shard", "");
   const std::string out_dir = args.get_string("out", "");
   const std::string merge_dir = args.get_string("merge", "");
+  const std::string metrics_flag = args.get_string("metrics", "");
   const bool list_scenarios = args.get_bool("list-scenarios", false);
   const bool list_algos = args.get_bool("list-algos", false);
+  const bool list_metrics = args.get_bool("list-metrics", false);
   const bool help = args.get_bool("help", false);
   if (help) {
     std::printf("%s\n", args.help().c_str());
@@ -121,6 +133,9 @@ int main(int argc, char** argv) {
     }
     std::printf("noise: sigmoid | adv | exact; engine: auto | agent | "
                 "aggregate; initial: idle | uniform | adversarial | random\n");
+    std::printf("metrics: --metrics=a,b,c selects streaming metrics "
+                "(--list-metrics for the registry; default: %s)\n",
+                default_metrics_label().c_str());
     std::printf("sharding: --shard=i/N --out=DIR to run and persist one "
                 "shard, --merge=DIR to reassemble (docs/CAMPAIGNS.md)\n");
     return 0;
@@ -128,7 +143,8 @@ int main(int argc, char** argv) {
   args.check_unknown();
 
   // Registry listings: the discoverability entry points (no run needed).
-  if (list_scenarios || list_algos) {
+  if (list_scenarios || list_algos || list_metrics) {
+    bool printed = false;
     if (list_algos) {
       std::printf("registered algorithms:\n");
       for (const auto& a : algorithm_names()) {
@@ -136,13 +152,30 @@ int main(int argc, char** argv) {
                     std::string(algorithm_description(a)).c_str(),
                     has_aggregate_kernel(a) ? "" : " [agent engine only]");
       }
+      printed = true;
     }
     if (list_scenarios) {
-      if (list_algos) std::printf("\n");
+      if (printed) std::printf("\n");
       std::printf("registered scenario families:\n");
       for (const auto& s : scenario_names()) {
         std::printf("  %-20s %s\n", s.c_str(),
                     std::string(scenario_description(s)).c_str());
+      }
+      printed = true;
+    }
+    if (list_metrics) {
+      if (printed) std::printf("\n");
+      std::printf("registered metrics (--metrics=a,b,c; default %s):\n",
+                  default_metrics_label().c_str());
+      for (const auto& m : metric_names()) {
+        std::string scalars;
+        for (const auto& spec : metric_scalars(m)) {
+          if (!scalars.empty()) scalars += ", ";
+          scalars += spec.name;
+        }
+        std::printf("  %-16s %s\n  %16s scalars: %s\n", m.c_str(),
+                    std::string(metric_description(m)).c_str(), "",
+                    scalars.c_str());
       }
     }
     return 0;
@@ -230,6 +263,9 @@ int main(int argc, char** argv) {
     campaign.seed = seed;
     campaign.replicates = replicates;
     campaign.metrics.gamma = gamma;
+    // --metrics selects the streaming metric set: the campaign columns, the
+    // shard CSV columns, and (through the config hash) the merge key.
+    campaign.metrics.names = split_csv(metrics_flag);
     if (!shard_flag.empty()) campaign.shard = parse_shard(shard_flag);
 
     std::printf("campaign: %lld scenarios x %lld algos on %s, n=%lld, k=%d, "
@@ -281,7 +317,8 @@ int main(int argc, char** argv) {
   cfg.initial = initial;
   cfg.metrics = {.gamma = gamma,
                  .warmup = rounds / 2,
-                 .trace_stride = std::max<Round>(1, rounds / 512)};
+                 .trace_stride = std::max<Round>(1, rounds / 512),
+                 .names = split_csv(metrics_flag)};
 
   auto fm = noise_spec.make();
   const Engine resolved = resolve_engine(engine, cfg.algo, *fm);
@@ -315,6 +352,12 @@ int main(int argc, char** argv) {
     summary.add_row({"final load task " + std::to_string(j),
                      Table::fmt(res.final_loads[static_cast<std::size_t>(j)]) +
                          " / " + Table::fmt(demands[j])});
+  }
+  // The selected streaming metrics' named scalars (default set unless
+  // --metrics= overrode it).
+  for (std::size_t i = 0; i < res.metric_names.size(); ++i) {
+    summary.add_row({"metric " + res.metric_names[i],
+                     Table::fmt(res.metric_values[i], 6)});
   }
   std::printf("%s\n", summary.render().c_str());
 

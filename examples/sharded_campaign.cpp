@@ -38,6 +38,10 @@ int main() {
   cfg.rounds = 2000;
   cfg.seed = 11;
   cfg.replicates = 4;
+  // Metric selection: the default trio plus streaming convergence time.
+  // The resolved list enters the config hash, so every shard must select
+  // the same metrics - and the merged table grows their columns.
+  cfg.metrics.names = {"regret", "violations", "switches", "convergence"};
 
   // Phase 1 — each "worker" runs its shard and persists it. Cell seeds are
   // derived from matrix coordinates, so a shard computes the same bits

@@ -64,22 +64,22 @@ SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
     // changes only) the active set.
     const std::size_t segment = schedule.segment_index_at(t);
     const DemandVector& demands = schedule.segment_demands(segment);
+    std::int64_t flushed = 0;
     if (lifecycle && segment != prev_segment) {
       const ActiveSet& active = schedule.segment_active(segment);
       if (active != current_active) {
-        // The retirement flush is its own switch event, counted here; the
-        // post-step diff below runs against the post-flush snapshot. An ant
-        // that is flushed and immediately re-recruited therefore counts
-        // twice (task -> idle -> task), the same convention the aggregate
-        // kernels' apply_lifecycle + join accounting produces.
-        std::int64_t flushed = 0;
+        // The retirement flush is its own switch event, part of round t's
+        // count; the post-step diff below runs against the post-flush
+        // snapshot. An ant that is flushed and immediately re-recruited
+        // therefore counts twice (task -> idle -> task), the same
+        // convention the aggregate kernels' apply_lifecycle + join
+        // accounting produces.
         for (auto& a : assignment) {
           if (a != kIdle && !active[a]) {
             a = kIdle;
             ++flushed;
           }
         }
-        recorder.add_switches(flushed);
         algo.on_lifecycle(t, active);
         current_active = active;
         active_mask = current_active.mask64();
@@ -110,8 +110,11 @@ SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
       if (a != kIdle) ++loads[static_cast<std::size_t>(a)];
       if (a != prev_assignment[i]) ++switches;
     }
-    recorder.add_switches(switches);
-    recorder.record_round(t, loads, demands);
+    recorder.record_round(RoundView{.t = t,
+                                    .loads = loads,
+                                    .demands = &demands,
+                                    .active = &current_active,
+                                    .switches = flushed + switches});
   }
   return recorder.finish(loads);
 }

@@ -43,17 +43,23 @@ SimResult run_aggregate_sim(AggregateKernel& kernel, const FeedbackModel& fm,
     // changes only) the active set.
     const std::size_t segment = schedule.segment_index_at(t);
     const DemandVector& demands = schedule.segment_demands(segment);
+    std::int64_t flushed = 0;
     if (lifecycle && segment != prev_segment) {
       const ActiveSet& active = schedule.segment_active(segment);
       if (active != current_active) {
-        recorder.add_switches(kernel.apply_lifecycle(t, active));
+        flushed = kernel.apply_lifecycle(t, active);
         current_active = active;
       }
     }
     prev_segment = segment;
     out = kernel.step(t, demands, fm);
-    recorder.add_switches(out.switches);
-    recorder.record_round(t, out.loads, demands);
+    // One RoundView per round: the flush at a segment boundary is part of
+    // round t's switch count, exactly as the per-ant engine counts it.
+    recorder.record_round(RoundView{.t = t,
+                                    .loads = out.loads,
+                                    .demands = &demands,
+                                    .active = &current_active,
+                                    .switches = flushed + out.switches});
   }
   return recorder.finish(out.loads);
 }

@@ -170,7 +170,9 @@ SimResult run_reactive_sequential(ReactiveParams params, Count n_ants,
           static_cast<double>(demands[j] - loads[static_cast<std::size_t>(j)]);
     }
     // Pick one uniformly random ant: idle with probability idle/n, else a
-    // worker of task j with probability loads[j]/n.
+    // worker of task j with probability loads[j]/n. One sequential round
+    // moves at most one ant, so the round's switch count is 0 or 1.
+    std::int64_t switched = 0;
     const auto pick =
         static_cast<Count>(gen.uniform_below(static_cast<std::uint64_t>(n_ants)));
     if (pick < idle) {
@@ -188,7 +190,7 @@ SimResult run_reactive_sequential(ReactiveParams params, Count n_ants,
         const TaskId j = nth_set_bit(lack, choice);
         ++loads[static_cast<std::size_t>(j)];
         --idle;
-        recorder.add_switches(1);
+        switched = 1;
       }
     } else {
       // Worker ant of the task its index falls into.
@@ -203,13 +205,16 @@ SimResult run_reactive_sequential(ReactiveParams params, Count n_ants,
               gen.bernoulli(params.leave_probability)) {  // overload observed
             --loads[static_cast<std::size_t>(j)];
             ++idle;
-            recorder.add_switches(1);
+            switched = 1;
           }
           break;
         }
       }
     }
-    recorder.record_round(t, loads, demands);
+    recorder.record_round(RoundView{.t = t,
+                                    .loads = loads,
+                                    .demands = &demands,
+                                    .switches = switched});
   }
   return recorder.finish(loads);
 }

@@ -80,8 +80,10 @@ void Colony::step() {
   const auto out =
       impl_->kernel->step(impl_->round, impl_->demands, *impl_->model);
   impl_->loads.assign(out.loads.begin(), out.loads.end());
-  impl_->recorder->add_switches(out.switches);
-  impl_->recorder->record_round(impl_->round, out.loads, impl_->demands);
+  impl_->recorder->record_round(RoundView{.t = impl_->round,
+                                          .loads = out.loads,
+                                          .demands = &impl_->demands,
+                                          .switches = out.switches});
   impl_->regret_total += static_cast<double>(instantaneous_regret());
 }
 

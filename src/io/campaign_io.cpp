@@ -17,24 +17,66 @@ namespace {
 
 namespace fs = std::filesystem;
 
-constexpr const char* kFormatLine = "format antalloc-campaign-shard-v1";
+constexpr const char* kFormatLine = "format antalloc-campaign-shard-v2";
+constexpr const char* kFormatPrefix = "format antalloc-campaign-shard-";
 
-// Rows are keyed by the accumulator STATE of each statistic (count, mean,
-// m2, min, max), not by the derived mean/ci the human-facing table prints:
-// restoring the exact Welford state is what makes the merged result
-// bit-identical to the unsharded run.
-constexpr const char* kRowsHeader =
-    "cell,scenario,algo,noise,engine,"
-    "regret_count,regret_mean,regret_m2,regret_min,regret_max,"
-    "violations_count,violations_mean,violations_m2,violations_min,"
-    "violations_max,switches_per_ant_round";
-constexpr std::size_t kRowsColumns = 16;
+// Rows are keyed by the accumulator STATE of each selected metric scalar
+// (count, mean, m2, min, max), not by the derived mean/ci the human-facing
+// table prints: restoring the exact Welford state is what makes the merged
+// result bit-identical to the unsharded run. The column set is dynamic —
+// named after the campaign's metric selection, which the manifest records
+// and the config hash covers.
+constexpr const char* kRowsHeaderPrefix = "cell,scenario,algo,noise,engine";
+constexpr std::size_t kRowsFixedColumns = 5;
 
-constexpr const char* kResultsHeader =
+// Fixed legacy SimResult fields, followed by one column per metric scalar.
+constexpr const char* kResultsHeaderPrefix =
     "cell,replicate,rounds,n_ants,total_regret,regret_plus,regret_near,"
     "regret_minus,post_warmup_rounds,post_warmup_regret,violation_rounds,"
     "switches,final_loads";
-constexpr std::size_t kResultsColumns = 13;
+constexpr std::size_t kResultsFixedColumns = 13;
+
+std::string rows_header(const std::vector<MetricScalar>& specs) {
+  std::string header = kRowsHeaderPrefix;
+  for (const MetricScalar& spec : specs) {
+    for (const char* part : {"_count", "_mean", "_m2", "_min", "_max"}) {
+      header += "," + spec.name + part;
+    }
+  }
+  return header;
+}
+
+std::string results_header(const std::vector<MetricScalar>& specs) {
+  std::string header = kResultsHeaderPrefix;
+  // "metric_" prefix: the fixed legacy columns include regret_plus/near/
+  // minus, so a selected regret-split metric would otherwise duplicate
+  // column names and confuse external CSV consumers (parsing here is
+  // positional either way).
+  for (const MetricScalar& spec : specs) header += ",metric_" + spec.name;
+  return header;
+}
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ',';
+    out += name;
+  }
+  return out;
+}
+
+std::vector<std::string> split_names(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
 
 // %.17g round-trips every finite IEEE double exactly; the merged stats are
 // therefore the same bits the shard computed.
@@ -153,23 +195,27 @@ RunningStats stats_from_fields(const std::vector<std::string>& fields,
   return RunningStats::from_state(s);
 }
 
-std::string rows_csv(const CampaignResult& result) {
-  std::string out = std::string(kRowsHeader) + "\n";
+std::string rows_csv(const CampaignResult& result,
+                     const std::vector<MetricScalar>& specs) {
+  std::string out = rows_header(specs) + "\n";
   for (const CampaignCell& cell : result.cells) {
     out += fmt_i64(static_cast<std::int64_t>(cell.flat_index)) + ",";
     out += csv_escape(cell.scenario) + ",";
     out += csv_escape(cell.algo) + ",";
     out += csv_escape(cell.noise) + ",";
-    out += std::string(to_string(cell.engine)) + ",";
-    out += append_stats(cell.regret) + ",";
-    out += append_stats(cell.violations) + ",";
-    out += fmt_f64(cell.switches_per_ant_round) + "\n";
+    out += std::string(to_string(cell.engine));
+    for (const RunningStats& stats : cell.metric_stats) {
+      out += ',';
+      out += append_stats(stats);
+    }
+    out += "\n";
   }
   return out;
 }
 
-std::string results_csv(const CampaignResult& result) {
-  std::string out = std::string(kResultsHeader) + "\n";
+std::string results_csv(const CampaignResult& result,
+                        const std::vector<MetricScalar>& specs) {
+  std::string out = results_header(specs) + "\n";
   for (const CampaignCell& cell : result.cells) {
     for (std::size_t r = 0; r < cell.results.size(); ++r) {
       const SimResult& res = cell.results[r];
@@ -190,14 +236,21 @@ std::string results_csv(const CampaignResult& result) {
         if (!loads.empty()) loads += ';';
         loads += fmt_i64(w);
       }
-      out += loads + "\n";
+      out += loads;
+      // One value column per selected scalar, pulled by name so the file
+      // layout always matches the manifest's metric list.
+      for (const MetricScalar& spec : specs) {
+        out += ',';
+        out += fmt_f64(res.metric(spec.name));
+      }
+      out += "\n";
     }
   }
   return out;
 }
 
 std::vector<std::string> data_lines(const std::string& content,
-                                    const char* expected_header,
+                                    const std::string& expected_header,
                                     const std::string& context) {
   std::vector<std::string> lines;
   std::istringstream in(content);
@@ -213,11 +266,14 @@ std::vector<std::string> data_lines(const std::string& content,
   return lines;
 }
 
-CampaignCell parse_row(const std::string& line, const std::string& context) {
+CampaignCell parse_row(const std::string& line,
+                       const std::vector<MetricScalar>& specs,
+                       const std::string& context) {
   const auto fields = csv_split(line, context);
-  if (fields.size() != kRowsColumns) {
+  const std::size_t expected = kRowsFixedColumns + 5 * specs.size();
+  if (fields.size() != expected) {
     throw std::runtime_error(context + ": expected " +
-                             std::to_string(kRowsColumns) + " fields, got " +
+                             std::to_string(expected) + " fields, got " +
                              std::to_string(fields.size()));
   }
   CampaignCell cell;
@@ -226,23 +282,32 @@ CampaignCell parse_row(const std::string& line, const std::string& context) {
   cell.algo = fields[2];
   cell.noise = fields[3];
   cell.engine = parse_engine(fields[4]);
-  cell.regret = stats_from_fields(fields, 5, context);
-  cell.violations = stats_from_fields(fields, 10, context);
-  cell.switches_per_ant_round = parse_f64(fields[15], context);
+  cell.metric_stats.reserve(specs.size());
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    cell.metric_stats.push_back(
+        stats_from_fields(fields, kRowsFixedColumns + 5 * si, context));
+  }
+  // Rebuild the legacy views through the same mapping run_campaign uses:
+  // the restored state is the shard's bits, so mean() reproduces the same
+  // double the shard computed.
+  cell.fill_legacy_views(specs);
   return cell;
 }
 
 void attach_results(CampaignResult& shard, const std::string& content,
-                    std::int64_t replicates, const std::string& context) {
+                    std::int64_t replicates,
+                    const std::vector<MetricScalar>& specs,
+                    const std::string& context) {
   std::map<std::size_t, CampaignCell*> by_index;
   for (CampaignCell& cell : shard.cells) by_index[cell.flat_index] = &cell;
 
   for (const std::string& line :
-       data_lines(content, kResultsHeader, context)) {
+       data_lines(content, results_header(specs), context)) {
     const auto fields = csv_split(line, context);
-    if (fields.size() != kResultsColumns) {
+    const std::size_t expected = kResultsFixedColumns + specs.size();
+    if (fields.size() != expected) {
       throw std::runtime_error(context + ": expected " +
-                               std::to_string(kResultsColumns) +
+                               std::to_string(expected) +
                                " fields, got " +
                                std::to_string(fields.size()));
     }
@@ -274,6 +339,11 @@ void attach_results(CampaignResult& shard, const std::string& content,
     std::string item;
     while (std::getline(loads, item, ';')) {
       res.final_loads.push_back(parse_i64(item, context));
+    }
+    for (std::size_t si = 0; si < specs.size(); ++si) {
+      res.metric_names.push_back(specs[si].name);
+      res.metric_values.push_back(
+          parse_f64(fields[kResultsFixedColumns + si], context));
     }
     it->second->results.push_back(std::move(res));
   }
@@ -313,19 +383,28 @@ std::string write_campaign_shard(const std::string& dir,
           " (was the result produced by this config's shard?)");
     }
   }
+  const std::vector<std::string> families =
+      resolve_metric_names(cfg.metrics.names);
+  if (result.metrics != families) {
+    throw std::invalid_argument(
+        "write_campaign_shard: result metric selection (" +
+        join_names(result.metrics) + ") does not match the config's (" +
+        join_names(families) + ")");
+  }
+  const std::vector<MetricScalar> specs = metric_scalar_columns(families);
 
   fs::create_directories(dir);
   const std::string stem = "shard-" + std::to_string(cfg.shard.index) +
                            "-of-" + std::to_string(cfg.shard.count);
 
-  const std::string rows = rows_csv(result);
+  const std::string rows = rows_csv(result, specs);
   const std::string rows_name = stem + ".csv";
   write_file((fs::path(dir) / rows_name).string(), rows);
 
   std::string results_name;
   std::uint64_t results_checksum = 0;
   if (cfg.keep_results) {
-    const std::string results = results_csv(result);
+    const std::string results = results_csv(result, specs);
     results_name = stem + ".results.csv";
     results_checksum = rng::hash_string(results);
     write_file((fs::path(dir) / results_name).string(), results);
@@ -338,6 +417,7 @@ std::string write_campaign_shard(const std::string& dir,
   manifest += "total_cells " + std::to_string(total) + "\n";
   manifest += "shard_cells " + std::to_string(result.cells.size()) + "\n";
   manifest += "replicates " + std::to_string(cfg.replicates) + "\n";
+  manifest += "metrics " + join_names(families) + "\n";
   manifest += std::string("keep_results ") + (cfg.keep_results ? "1" : "0") +
               "\n";
   manifest += "rows " + rows_name + "\n";
@@ -358,7 +438,18 @@ ShardManifest read_shard_manifest(const std::string& path) {
   std::istringstream in(content);
   std::string line;
   if (!std::getline(in, line) || line != kFormatLine) {
-    throw std::runtime_error(path + ": not an antalloc-campaign-shard-v1 "
+    // Distinguish "older format" from "not a manifest at all": a
+    // pre-redesign shard is a clear version error, not a parse failure (and
+    // never a checksum mismatch).
+    if (line.rfind(kFormatPrefix, 0) == 0) {
+      throw std::runtime_error(
+          path + ": shard format '" + line.substr(7) +
+          "' predates the streaming-metrics redesign; this version reads "
+          "antalloc-campaign-shard-v2 — re-run the shards with the current "
+          "binary (cell seeds are coordinate-derived, the numbers will "
+          "match)");
+    }
+    throw std::runtime_error(path + ": not an antalloc-campaign-shard-v2 "
                              "manifest");
   }
   std::map<std::string, std::string> kv;
@@ -389,6 +480,10 @@ ShardManifest read_shard_manifest(const std::string& path) {
   m.shard_cells =
       static_cast<std::size_t>(parse_i64(require("shard_cells"), path));
   m.replicates = parse_i64(require("replicates"), path);
+  m.metrics = split_names(require("metrics"));
+  if (m.metrics.empty()) {
+    throw std::runtime_error(path + ": manifest has an empty metric list");
+  }
   m.keep_results = require("keep_results") == "1";
   m.rows_file = require("rows");
   m.rows_checksum = parse_hex(require("rows_checksum"), path);
@@ -401,6 +496,18 @@ ShardManifest read_shard_manifest(const std::string& path) {
 
 CampaignResult read_campaign_shard(const std::string& dir,
                                    const ShardManifest& manifest) {
+  // The manifest's metric list is the key to the data files' columns; an
+  // unknown name means the shard came from a build with metrics this one
+  // does not register.
+  std::vector<MetricScalar> specs;
+  try {
+    specs = metric_scalar_columns(manifest.metrics);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(dir + ": manifest metric list '" +
+                             join_names(manifest.metrics) +
+                             "' is not readable by this build: " + e.what());
+  }
+
   const std::string rows_path =
       (fs::path(dir) / manifest.rows_file).string();
   const std::string rows = read_file(rows_path);
@@ -411,8 +518,10 @@ CampaignResult read_campaign_shard(const std::string& dir,
   }
 
   CampaignResult shard;
-  for (const std::string& line : data_lines(rows, kRowsHeader, rows_path)) {
-    shard.cells.push_back(parse_row(line, rows_path));
+  shard.metrics = manifest.metrics;
+  for (const std::string& line :
+       data_lines(rows, rows_header(specs), rows_path)) {
+    shard.cells.push_back(parse_row(line, specs, rows_path));
   }
   if (shard.cells.size() != manifest.shard_cells) {
     throw std::runtime_error(rows_path + ": manifest promises " +
@@ -428,7 +537,7 @@ CampaignResult read_campaign_shard(const std::string& dir,
     if (rng::hash_string(results) != manifest.results_checksum) {
       throw std::runtime_error(results_path + ": checksum mismatch");
     }
-    attach_results(shard, results, manifest.replicates, results_path);
+    attach_results(shard, results, manifest.replicates, specs, results_path);
   }
   return shard;
 }
@@ -470,6 +579,7 @@ MergedCampaign merge_campaign_dir(const std::string& dir) {
     if (m.shard_count != first.shard_count ||
         m.total_cells != first.total_cells ||
         m.replicates != first.replicates ||
+        m.metrics != first.metrics ||
         m.keep_results != first.keep_results) {
       throw std::runtime_error(manifest_paths[i] +
                                ": shard shape disagrees with " +

@@ -4,15 +4,26 @@
 // matrix as a self-describing pair in an output directory:
 //
 //   shard-<i>-of-<N>.csv        one row per cell: labels + the full
-//                               RunningStats accumulator state of each
-//                               statistic, doubles printed with %.17g so
-//                               they parse back bit-identical;
+//                               RunningStats accumulator state of every
+//                               selected metric scalar (columns
+//                               "<scalar>_{count,mean,m2,min,max}", named
+//                               after the campaign's metric selection),
+//                               doubles printed with %.17g so they parse
+//                               back bit-identical;
 //   shard-<i>-of-<N>.manifest   key-value provenance: the campaign config
-//                               hash, shard coordinates, row counts and an
-//                               FNV-1a checksum of each data file;
+//                               hash, shard coordinates, the metric
+//                               selection, row counts and an FNV-1a
+//                               checksum of each data file;
 //   shard-<i>-of-<N>.results.csv (keep_results only) one row per replicate
-//                               with the SimResult scalar fields and final
-//                               loads.
+//                               with the SimResult scalar fields, final
+//                               loads, and one column per selected metric
+//                               scalar.
+//
+// Format v2 (the streaming-metrics redesign): columns are named by the
+// metric selection, which is itself folded into campaign_config_hash —
+// shards computed with different metric sets can never merge. A v1
+// (pre-redesign) shard directory is rejected up front with a version
+// error, not a checksum mismatch: re-run those shards with this version.
 //
 // merge_campaign_dir scans a directory for manifests, refuses anything
 // inconsistent (mismatched config hashes, wrong or duplicate shard indices,
@@ -43,6 +54,9 @@ struct ShardManifest {
   std::size_t total_cells = 0;
   std::size_t shard_cells = 0;
   std::int64_t replicates = 1;
+  // Resolved metric family selection the shard was computed with — the key
+  // to the data files' dynamic columns.
+  std::vector<std::string> metrics;
   bool keep_results = false;
   std::string rows_file;
   std::uint64_t rows_checksum = 0;  // FNV-1a over the file's bytes

@@ -18,6 +18,39 @@ bool in_band(const Trace& trace, std::size_t i, const DemandVector& demands,
 
 }  // namespace
 
+void ConvergenceAccumulator::observe(Round t, std::span<const Count> loads,
+                                     const DemandVector& demands) {
+  bool ok = true;
+  for (TaskId j = 0; j < demands.num_tasks(); ++j) {
+    const Count delta = demands[j] - loads[static_cast<std::size_t>(j)];
+    const double band = 5.0 * gamma_ * static_cast<double>(demands[j]) + 3.0;
+    if (std::abs(static_cast<double>(delta)) > band) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok && stats_.first_in_band < 0) stats_.first_in_band = t;
+  if (!ok) stats_.last_violation = t;
+  // The entry round itself counts toward occupancy, matching the trace scan
+  // (its occupancy loop starts at the entry index).
+  if (stats_.first_in_band >= 0) {
+    ++total_after_entry_;
+    if (ok) ++inside_after_entry_;
+  }
+}
+
+ConvergenceStats ConvergenceAccumulator::stats() const {
+  ConvergenceStats out = stats_;
+  if (out.first_in_band >= 0) {
+    out.occupancy_after_entry =
+        total_after_entry_ > 0
+            ? static_cast<double>(inside_after_entry_) /
+                  static_cast<double>(total_after_entry_)
+            : 0.0;
+  }
+  return out;
+}
+
 ConvergenceStats measure_convergence(const Trace& trace,
                                      const DemandSchedule& schedule,
                                      double gamma) {

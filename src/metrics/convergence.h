@@ -20,6 +20,27 @@ struct ConvergenceStats {
   bool converged() const { return first_in_band >= 0; }
 };
 
+// Streaming form: folds one round at a time in O(1) state, no retained
+// trace. This is what the "convergence" registry metric (metrics/metric.h)
+// drives; the trace-scanning measure_convergence below stays as the
+// post-hoc oracle the equivalence tests compare it against.
+class ConvergenceAccumulator {
+ public:
+  explicit ConvergenceAccumulator(double gamma) : gamma_(gamma) {}
+
+  // Folds round t: loads are W(j)_t, demands the vector in force.
+  void observe(Round t, std::span<const Count> loads,
+               const DemandVector& demands);
+
+  ConvergenceStats stats() const;
+
+ private:
+  double gamma_;
+  ConvergenceStats stats_;
+  std::int64_t inside_after_entry_ = 0;
+  std::int64_t total_after_entry_ = 0;
+};
+
 // Scans a trace against a (possibly time-varying) demand schedule.
 ConvergenceStats measure_convergence(const Trace& trace,
                                      const DemandSchedule& schedule,

@@ -1,0 +1,402 @@
+#include "metrics/metric.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+
+#include "metrics/convergence.h"
+#include "metrics/oscillation.h"
+
+namespace antalloc {
+
+Metric::~Metric() = default;
+
+namespace {
+
+// Every built-in replicates the exact accumulation order of the statistic it
+// streams (the legacy SimResult fields for the regret family, the trace
+// scans for convergence/oscillation), so metric_equivalence_test can pin
+// bit-equality, and the default campaign columns reproduce the pre-registry
+// numbers exactly.
+
+// Per-round regret r(t) = Σ_j |d(j) - W(j)|, summed in task order — the
+// same integer-then-double accumulation the legacy recorder core uses.
+Count round_regret(const RoundView& view) {
+  const DemandVector& demands = *view.demands;
+  Count r = 0;
+  for (std::int32_t j = 0; j < demands.num_tasks(); ++j) {
+    const Count delta = demands[j] - view.loads[static_cast<std::size_t>(j)];
+    r += std::abs(delta);
+  }
+  return r;
+}
+
+// "regret": post-warmup average per-round regret — the scalar the campaign
+// always reported.
+class RegretMetric final : public Metric {
+ public:
+  explicit RegretMetric(const MetricContext& ctx) : warmup_(ctx.warmup) {}
+
+  void on_round(const RoundView& view) override {
+    if (view.t > warmup_) {
+      ++rounds_;
+      sum_ += static_cast<double>(round_regret(view));
+    }
+  }
+
+  void finish(std::vector<std::string>& names,
+              std::vector<double>& values) override {
+    names.push_back("regret");
+    values.push_back(rounds_ > 0 ? sum_ / static_cast<double>(rounds_) : 0.0);
+  }
+
+ private:
+  Round warmup_;
+  Round rounds_ = 0;
+  double sum_ = 0.0;
+};
+
+// "violations": rounds in which some task had |Δ(j)| > 5γ·d(j) + 3.
+class ViolationsMetric final : public Metric {
+ public:
+  explicit ViolationsMetric(const MetricContext& ctx) : gamma_(ctx.gamma) {}
+
+  void on_round(const RoundView& view) override {
+    const DemandVector& demands = *view.demands;
+    for (std::int32_t j = 0; j < demands.num_tasks(); ++j) {
+      const Count delta =
+          demands[j] - view.loads[static_cast<std::size_t>(j)];
+      const double d = static_cast<double>(demands[j]);
+      if (std::abs(static_cast<double>(delta)) > 5.0 * gamma_ * d + 3.0) {
+        ++violation_rounds_;
+        return;
+      }
+    }
+  }
+
+  void finish(std::vector<std::string>& names,
+              std::vector<double>& values) override {
+    names.push_back("violations");
+    values.push_back(static_cast<double>(violation_rounds_));
+  }
+
+ private:
+  double gamma_;
+  std::int64_t violation_rounds_ = 0;
+};
+
+// "switches": total assignment changes normalized per ant per round —
+// exactly the campaign's historical switches_per_ant_round expression.
+class SwitchesMetric final : public Metric {
+ public:
+  explicit SwitchesMetric(const MetricContext& ctx) : n_ants_(ctx.n_ants) {}
+
+  void on_round(const RoundView& view) override {
+    total_ += view.switches;
+    last_round_ = view.t;
+  }
+
+  void finish(std::vector<std::string>& names,
+              std::vector<double>& values) override {
+    names.push_back("switches_per_ant_round");
+    values.push_back(last_round_ > 0 && n_ants_ > 0
+                         ? static_cast<double>(total_) /
+                               static_cast<double>(last_round_) /
+                               static_cast<double>(n_ants_)
+                         : 0.0);
+  }
+
+ private:
+  Count n_ants_;
+  std::int64_t total_ = 0;
+  Round last_round_ = 0;
+};
+
+// "regret-split": whole-horizon R⁺ / R≈ / R⁻ totals (paper §2.3/§4).
+class RegretSplitMetric final : public Metric {
+ public:
+  explicit RegretSplitMetric(const MetricContext& ctx)
+      : gamma_(ctx.gamma), bands_(ctx.bands) {}
+
+  void on_round(const RoundView& view) override {
+    const DemandVector& demands = *view.demands;
+    const double g = gamma_;
+    const double cp = bands_.c_plus();
+    const double cm = bands_.c_minus();
+    Count r = 0;
+    double r_plus = 0.0;
+    double r_minus = 0.0;
+    for (std::int32_t j = 0; j < demands.num_tasks(); ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      const Count w = view.loads[ju];
+      const double d = static_cast<double>(demands[j]);
+      r += std::abs(demands[j] - w);
+      const double over = static_cast<double>(w) - (1.0 + cp * g) * d;
+      if (over > 0.0) r_plus += over;
+      const double lack = (1.0 - cm * g) * d - static_cast<double>(w);
+      if (lack > 0.0) r_minus += lack;
+    }
+    plus_ += r_plus;
+    minus_ += r_minus;
+    near_ += static_cast<double>(r) - r_plus - r_minus;
+  }
+
+  void finish(std::vector<std::string>& names,
+              std::vector<double>& values) override {
+    names.insert(names.end(), {"regret_plus", "regret_near", "regret_minus"});
+    values.insert(values.end(), {plus_, near_, minus_});
+  }
+
+ private:
+  double gamma_;
+  RegretBands bands_;
+  double plus_ = 0.0;
+  double near_ = 0.0;
+  double minus_ = 0.0;
+};
+
+// "closeness": per-round r(t)/(γ·Σd(t)), averaged over post-warmup rounds.
+// For a constant schedule this equals the legacy SimResult::closeness with
+// gamma_star = the run's γ; under varying demands it normalizes each round
+// by the total demand then in force.
+class ClosenessMetric final : public Metric {
+ public:
+  explicit ClosenessMetric(const MetricContext& ctx)
+      : gamma_(ctx.gamma), warmup_(ctx.warmup) {}
+
+  void on_round(const RoundView& view) override {
+    if (view.t <= warmup_) return;
+    ++rounds_;
+    const double denom =
+        gamma_ * static_cast<double>(view.demands->total());
+    if (denom > 0.0) {
+      sum_ += static_cast<double>(round_regret(view)) / denom;
+    }
+  }
+
+  void finish(std::vector<std::string>& names,
+              std::vector<double>& values) override {
+    names.push_back("closeness");
+    values.push_back(rounds_ > 0 ? sum_ / static_cast<double>(rounds_) : 0.0);
+  }
+
+ private:
+  double gamma_;
+  Round warmup_;
+  Round rounds_ = 0;
+  double sum_ = 0.0;
+};
+
+// "convergence": streaming Theorem 3.1 band entry/occupancy — the
+// ConvergenceAccumulator (metrics/convergence.h) driven per round instead
+// of a post-hoc trace scan.
+class ConvergenceMetric final : public Metric {
+ public:
+  explicit ConvergenceMetric(const MetricContext& ctx) : acc_(ctx.gamma) {}
+
+  void on_round(const RoundView& view) override {
+    acc_.observe(view.t, view.loads, *view.demands);
+  }
+
+  void finish(std::vector<std::string>& names,
+              std::vector<double>& values) override {
+    const ConvergenceStats stats = acc_.stats();
+    names.insert(names.end(),
+                 {"convergence_round", "last_violation", "band_occupancy"});
+    values.insert(values.end(), {static_cast<double>(stats.first_in_band),
+                                 static_cast<double>(stats.last_violation),
+                                 stats.occupancy_after_entry});
+  }
+
+ private:
+  ConvergenceAccumulator acc_;
+};
+
+// "oscillation": one streaming OscillationAccumulator per task, aggregated
+// as plain task-order means/max so the trace-based oracle
+// (analyze_trace_task per task, combined the same way) reproduces the
+// scalars bit-exactly.
+class OscillationMetric final : public Metric {
+ public:
+  explicit OscillationMetric(const MetricContext& ctx)
+      : tasks_(static_cast<std::size_t>(ctx.num_tasks)) {}
+
+  void on_round(const RoundView& view) override {
+    const DemandVector& demands = *view.demands;
+    for (std::int32_t j = 0; j < demands.num_tasks(); ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      tasks_[ju].add(demands[j] - view.loads[ju]);
+    }
+  }
+
+  void finish(std::vector<std::string>& names,
+              std::vector<double>& values) override {
+    double rate_sum = 0.0;
+    double mean_abs_sum = 0.0;
+    double max_abs = 0.0;
+    for (const OscillationAccumulator& acc : tasks_) {
+      const OscillationStats stats = acc.stats();
+      rate_sum += stats.crossing_rate();
+      mean_abs_sum += stats.mean_abs_deficit;
+      const auto task_max = static_cast<double>(stats.max_abs_deficit);
+      if (task_max > max_abs) max_abs = task_max;
+    }
+    const auto k = static_cast<double>(tasks_.size());
+    names.insert(names.end(), {"osc_crossing_rate", "osc_max_abs_deficit",
+                               "osc_mean_abs_deficit"});
+    values.insert(values.end(),
+                  {tasks_.empty() ? 0.0 : rate_sum / k, max_abs,
+                   tasks_.empty() ? 0.0 : mean_abs_sum / k});
+  }
+
+ private:
+  std::vector<OscillationAccumulator> tasks_;
+};
+
+struct MetricInfo {
+  const char* name;
+  const char* description;
+  std::vector<MetricScalar> scalars;
+  std::function<std::unique_ptr<Metric>(const MetricContext&)> make;
+};
+
+// Registration order is presentation order (CLI listings, default columns).
+// The first three are the historical fixed set; their table column specs
+// reproduce the pre-registry campaign CSV header byte for byte.
+const std::vector<MetricInfo>& registry() {
+  static const std::vector<MetricInfo> metrics = {
+      {"regret",
+       "post-warmup average per-round regret sum_j |d(j) - W(j)| (paper "
+       "S2.3)",
+       {{"regret", "regret_mean", 5, /*ci95=*/true, 4}},
+       [](const MetricContext& ctx) {
+         return std::make_unique<RegretMetric>(ctx);
+       }},
+      {"violations",
+       "rounds in which some task violates the Theorem 3.1 deficit band "
+       "5*gamma*d(j)+3",
+       {{"violations", "violations_mean", 6}},
+       [](const MetricContext& ctx) {
+         return std::make_unique<ViolationsMetric>(ctx);
+       }},
+      {"switches",
+       "assignment changes per ant per round, lifecycle flushes included "
+       "(Theorem 3.6)",
+       {{"switches_per_ant_round", "switches_per_ant_round", 6}},
+       [](const MetricContext& ctx) {
+         return std::make_unique<SwitchesMetric>(ctx);
+       }},
+      {"regret-split",
+       "whole-horizon R+/R~/R- regret decomposition: overload beyond the "
+       "band, controlled oscillation, lack",
+       {{"regret_plus", "regret_plus_mean", 5},
+        {"regret_near", "regret_near_mean", 5},
+        {"regret_minus", "regret_minus_mean", 5}},
+       [](const MetricContext& ctx) {
+         return std::make_unique<RegretSplitMetric>(ctx);
+       }},
+      {"closeness",
+       "post-warmup average of r(t)/(gamma * total demand in force) — the "
+       "paper's c-closeness with gamma_star = gamma",
+       {{"closeness", "closeness_mean", 5, /*ci95=*/true, 4}},
+       [](const MetricContext& ctx) {
+         return std::make_unique<ClosenessMetric>(ctx);
+       }},
+      {"convergence",
+       "first round entering the Theorem 3.1 band, last violating round, "
+       "and band occupancy after entry",
+       {{"convergence_round", "convergence_round_mean", 7},
+        {"last_violation", "last_violation_mean", 7},
+        {"band_occupancy", "band_occupancy_mean", 5}},
+       [](const MetricContext& ctx) {
+         return std::make_unique<ConvergenceMetric>(ctx);
+       }},
+      {"oscillation",
+       "per-task deficit oscillation: sign-change rate, peak amplitude and "
+       "mean |deficit| (Theorem 3.3, Appendix D)",
+       {{"osc_crossing_rate", "osc_crossing_rate_mean", 5},
+        {"osc_max_abs_deficit", "osc_max_abs_deficit_mean", 7},
+        {"osc_mean_abs_deficit", "osc_mean_abs_deficit_mean", 4}},
+       [](const MetricContext& ctx) {
+         return std::make_unique<OscillationMetric>(ctx);
+       }},
+  };
+  return metrics;
+}
+
+const MetricInfo& find_metric_info(const std::string& name) {
+  for (const MetricInfo& info : registry()) {
+    if (name == info.name) return info;
+  }
+  std::string known;
+  for (const MetricInfo& info : registry()) {
+    if (!known.empty()) known += ", ";
+    known += info.name;
+  }
+  throw std::invalid_argument("unknown metric '" + name + "' (registered: " +
+                              known + ")");
+}
+
+}  // namespace
+
+std::vector<std::string> metric_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const MetricInfo& info : registry()) names.emplace_back(info.name);
+  return names;
+}
+
+bool has_metric(const std::string& name) {
+  for (const MetricInfo& info : registry()) {
+    if (name == info.name) return true;
+  }
+  return false;
+}
+
+std::string_view metric_description(const std::string& name) {
+  return find_metric_info(name).description;
+}
+
+const std::vector<MetricScalar>& metric_scalars(const std::string& name) {
+  return find_metric_info(name).scalars;
+}
+
+std::vector<std::string> default_metric_names() {
+  return {"regret", "violations", "switches"};
+}
+
+std::vector<std::string> resolve_metric_names(
+    const std::vector<std::string>& names) {
+  if (names.empty()) return default_metric_names();
+  std::vector<std::string> resolved;
+  resolved.reserve(names.size());
+  for (const std::string& name : names) {
+    find_metric_info(name);  // throws on unknown
+    for (const std::string& prev : resolved) {
+      if (prev == name) {
+        throw std::invalid_argument("duplicate metric '" + name +
+                                    "' in selection");
+      }
+    }
+    resolved.push_back(name);
+  }
+  return resolved;
+}
+
+std::vector<MetricScalar> metric_scalar_columns(
+    const std::vector<std::string>& names) {
+  std::vector<MetricScalar> columns;
+  for (const std::string& name : resolve_metric_names(names)) {
+    const std::vector<MetricScalar>& scalars = metric_scalars(name);
+    columns.insert(columns.end(), scalars.begin(), scalars.end());
+  }
+  return columns;
+}
+
+std::unique_ptr<Metric> make_metric(const std::string& name,
+                                    const MetricContext& ctx) {
+  return find_metric_info(name).make(ctx);
+}
+
+}  // namespace antalloc

@@ -1,0 +1,139 @@
+// Streaming metrics: the third registry of the system, next to
+// algo/registry.h (algorithms) and sim/scenario.h (scenarios).
+//
+// The paper's analysis is a family of per-round statistics — the regret
+// split R⁺/R≈/R⁻, Theorem 3.1 band violations, Theorem 3.6 switch counts,
+// convergence time, oscillation amplitude — and new theorem-shaped
+// measurements keep appearing. Instead of hardcoding one fixed set into
+// SimResult and every consumer above it, a metric is a named OBSERVER:
+// both engines emit one RoundView per round, each selected Metric folds it
+// into O(1)-per-round state, and finish() yields named scalars that flow
+// into SimResult's scalar map, campaign columns, shard CSVs and the CLI
+// with no further wiring. Observers stream, so million-round runs never
+// need a retained Trace to be measured (traces remain available as the
+// post-hoc oracle — the equivalence tests pin streaming == trace-scan
+// bit-exactly).
+//
+// Adding a metric = implement the Metric interface in metric.cpp, add one
+// row to the registry table (name, description, scalar columns, factory),
+// and it is selectable everywhere: MetricsRecorder::Options::names,
+// CampaignConfig (campaign columns + shard CSV columns appear
+// automatically), `antalloc_cli --metrics=` / `--list-metrics`. See the
+// metrics-subsystem section of docs/ARCHITECTURE.md for the recipe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/demand.h"
+#include "core/types.h"
+
+namespace antalloc {
+
+struct RegretBands {
+  // Paper constants. The arXiv text renders cs as "213"; the surrounding
+  // inequalities (Claim 4.2 needs cs >= 20/9 + 2/(cd-1); Claim 4.5 needs
+  // 1 + 1.2*cs <= 4 at gamma = 1/16) pin cs to [2.34, 2.5], so we default to
+  // 2.4 and keep it configurable. See DESIGN.md §5.
+  double cs = 2.4;
+  double cd = 19.0;
+
+  double c_plus() const { return 1.2 * cs; }
+  double c_minus() const { return 1.0 + 1.2 * cs; }
+};
+
+// One round as both engines expose it to the metrics layer: emitted exactly
+// once per round, after the round's transitions (lifecycle flush + algorithm
+// step) have been applied. Spans/pointers borrow the engine's buffers and
+// are valid only during the on_round call — observers must fold, not store.
+struct RoundView {
+  Round t = 0;
+  // Visible per-task loads W(j)_t after this round's step.
+  std::span<const Count> loads;
+  // Demand vector in force during round t (never null inside on_round).
+  const DemandVector* demands = nullptr;
+  // Active-task set in force (task lifecycle); nullptr = all tasks active.
+  const ActiveSet* active = nullptr;
+  // Ant-assignment changes applied during round t, including the lifecycle
+  // flush at a segment boundary (engines that do not track switches emit 0).
+  std::int64_t switches = 0;
+
+  bool task_active(TaskId j) const { return active == nullptr || (*active)[j]; }
+};
+
+// Run-constant context handed to metric factories: colony shape and the
+// recording options every band-shaped statistic needs.
+struct MetricContext {
+  std::int32_t num_tasks = 0;
+  Count n_ants = 0;
+  double gamma = 0.01;  // the algorithm's learning rate (band widths)
+  RegretBands bands{};
+  Round warmup = 0;  // rounds excluded from post-warmup statistics
+};
+
+// A streaming per-round observer. Implementations keep O(k) state, fold one
+// RoundView at a time, and emit their named scalars once at the end. The
+// scalar names must match the registry's declared MetricScalar list for the
+// metric, in order (metric_registry_test checks every built-in).
+class Metric {
+ public:
+  virtual ~Metric();
+
+  virtual void on_round(const RoundView& view) = 0;
+
+  // Appends (name, value) pairs — one per declared scalar, in declaration
+  // order. Called once, after the last round.
+  virtual void finish(std::vector<std::string>& names,
+                      std::vector<double>& values) = 0;
+};
+
+// One scalar a metric emits, plus how campaign tables render its replicate
+// statistics. The shard CSV persists the full RunningStats state under
+// "<name>_{count,mean,m2,min,max}" columns regardless of this spec.
+struct MetricScalar {
+  std::string name;    // key in SimResult's scalar map / shard CSV stem
+  std::string column;  // campaign table column for the replicate mean
+  int digits = 6;      // Table::fmt precision for the mean column
+  bool ci95 = false;   // also emit a "<name>_ci95" column
+  int ci_digits = 4;
+};
+
+// Registry (static table in metric.cpp, mirroring algo/scenario). ----------
+
+// Registered metric names, in registration order.
+std::vector<std::string> metric_names();
+bool has_metric(const std::string& name);
+
+// One-line description (CLI --list-metrics); throws std::invalid_argument
+// on unknown names.
+std::string_view metric_description(const std::string& name);
+
+// The scalars `name` emits, in emission order; throws on unknown names.
+const std::vector<MetricScalar>& metric_scalars(const std::string& name);
+
+// The selection every run uses when none is given: exactly the statistics
+// the pre-registry SimResult/campaign hardcoded ("regret", "violations",
+// "switches"), so default outputs reproduce the historical numbers.
+std::vector<std::string> default_metric_names();
+
+// Canonicalizes a selection: empty -> default_metric_names(); throws
+// std::invalid_argument on unknown or duplicate names (duplicates would
+// collide in the scalar map and CSV columns).
+std::vector<std::string> resolve_metric_names(
+    const std::vector<std::string>& names);
+
+// Flattened scalar specs for a (resolved or raw) selection, in selection
+// order — the column layout of campaign tables and shard CSVs. Resolves
+// empty to the default set and validates like resolve_metric_names.
+std::vector<MetricScalar> metric_scalar_columns(
+    const std::vector<std::string>& names);
+
+// Instantiates one observer; throws std::invalid_argument on unknown names.
+std::unique_ptr<Metric> make_metric(const std::string& name,
+                                    const MetricContext& ctx);
+
+}  // namespace antalloc

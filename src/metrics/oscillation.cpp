@@ -5,28 +5,34 @@
 
 namespace antalloc {
 
-OscillationStats analyze_series(std::span<const Count> deficits) {
-  OscillationStats stats;
-  stats.samples = static_cast<std::int64_t>(deficits.size());
-  if (deficits.empty()) return stats;
-
-  double abs_sum = 0.0;
-  double sum = 0.0;
-  int prev_sign = 0;
-  for (const Count delta : deficits) {
-    const Count a = std::abs(delta);
-    if (a > stats.max_abs_deficit) stats.max_abs_deficit = a;
-    abs_sum += static_cast<double>(a);
-    sum += static_cast<double>(delta);
-    const int sign = delta > 0 ? 1 : (delta < 0 ? -1 : 0);
-    if (sign != 0) {
-      if (prev_sign != 0 && sign != prev_sign) ++stats.zero_crossings;
-      prev_sign = sign;
-    }
+void OscillationAccumulator::add(Count deficit) {
+  ++samples_;
+  const Count a = std::abs(deficit);
+  if (a > max_abs_) max_abs_ = a;
+  abs_sum_ += static_cast<double>(a);
+  sum_ += static_cast<double>(deficit);
+  const int sign = deficit > 0 ? 1 : (deficit < 0 ? -1 : 0);
+  if (sign != 0) {
+    if (prev_sign_ != 0 && sign != prev_sign_) ++zero_crossings_;
+    prev_sign_ = sign;
   }
-  stats.mean_abs_deficit = abs_sum / static_cast<double>(deficits.size());
-  stats.mean_deficit = sum / static_cast<double>(deficits.size());
+}
+
+OscillationStats OscillationAccumulator::stats() const {
+  OscillationStats stats;
+  stats.samples = samples_;
+  if (samples_ == 0) return stats;
+  stats.zero_crossings = zero_crossings_;
+  stats.max_abs_deficit = max_abs_;
+  stats.mean_abs_deficit = abs_sum_ / static_cast<double>(samples_);
+  stats.mean_deficit = sum_ / static_cast<double>(samples_);
   return stats;
+}
+
+OscillationStats analyze_series(std::span<const Count> deficits) {
+  OscillationAccumulator acc;
+  for (const Count delta : deficits) acc.add(delta);
+  return acc.stats();
 }
 
 OscillationStats analyze_trace_task(const Trace& trace, TaskId j,

@@ -31,10 +31,33 @@ struct OscillationStats {
   }
 };
 
+// Streaming form: fold one deficit sample at a time in O(1) state, no
+// retained series. This is what the "oscillation" registry metric
+// (metrics/metric.h) feeds every round; analyze_series below is the same
+// arithmetic over a complete span and serves, together with
+// analyze_trace_task, as the post-hoc oracle the equivalence tests compare
+// the streaming path against.
+class OscillationAccumulator {
+ public:
+  void add(Count deficit);
+
+  std::int64_t samples() const { return samples_; }
+  OscillationStats stats() const;
+
+ private:
+  std::int64_t samples_ = 0;
+  std::int64_t zero_crossings_ = 0;
+  Count max_abs_ = 0;
+  double abs_sum_ = 0.0;
+  double sum_ = 0.0;
+  int prev_sign_ = 0;
+};
+
 OscillationStats analyze_series(std::span<const Count> deficits);
 
-// Convenience: analyze task j of a trace, skipping the first `skip` samples
-// (warmup).
+// Trace-based path: analyze task j of a trace via a full Trace::task_series
+// copy, skipping the first `skip` samples (warmup). Kept as the test oracle
+// for the streaming accumulator — new measurement code should stream.
 OscillationStats analyze_trace_task(const Trace& trace, TaskId j,
                                     std::size_t skip = 0);
 

@@ -2,18 +2,55 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace antalloc {
 
-MetricsRecorder::MetricsRecorder(std::int32_t num_tasks, Count n_ants,
-                                 Options opts)
-    : opts_(opts), deficit_buf_(static_cast<std::size_t>(num_tasks), 0) {
-  result_.n_ants = n_ants;
-  result_.trace = Trace(num_tasks, opts.trace_stride);
+const double* SimResult::find_metric(std::string_view name) const {
+  for (std::size_t i = 0; i < metric_names.size(); ++i) {
+    if (metric_names[i] == name) return &metric_values[i];
+  }
+  return nullptr;
 }
 
-void MetricsRecorder::record_round(Round t, std::span<const Count> loads,
-                                   const DemandVector& demands) {
+double SimResult::metric(std::string_view name) const {
+  if (const double* value = find_metric(name)) return *value;
+  std::string known;
+  for (const std::string& n : metric_names) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("SimResult::metric: no scalar '" +
+                              std::string(name) +
+                              "' (recorded: " + known + ")");
+}
+
+MetricsRecorder::MetricsRecorder(std::int32_t num_tasks, Count n_ants,
+                                 Options opts)
+    : opts_(std::move(opts)),
+      deficit_buf_(static_cast<std::size_t>(num_tasks), 0) {
+  result_.n_ants = n_ants;
+  result_.trace = Trace(num_tasks, opts_.trace_stride);
+  const MetricContext ctx{.num_tasks = num_tasks,
+                          .n_ants = n_ants,
+                          .gamma = opts_.gamma,
+                          .bands = opts_.bands,
+                          .warmup = opts_.warmup};
+  for (const std::string& name : resolve_metric_names(opts_.names)) {
+    observers_.push_back(make_metric(name, ctx));
+  }
+}
+
+MetricsRecorder::~MetricsRecorder() = default;
+
+void MetricsRecorder::record_round(const RoundView& view) {
+  const Round t = view.t;
+  const std::span<const Count> loads = view.loads;
+  const DemandVector& demands = *view.demands;
+
+  // Always-on legacy accumulation: exactly the historical arithmetic, in
+  // the historical order, so golden runs stay bit-stable regardless of the
+  // metric selection.
   const double g = opts_.gamma;
   const double cp = opts_.bands.c_plus();
   const double cm = opts_.bands.c_minus();
@@ -42,6 +79,7 @@ void MetricsRecorder::record_round(Round t, std::span<const Count> loads,
   }
 
   result_.rounds = t;
+  result_.switches += view.switches;
   result_.total_regret += static_cast<double>(r);
   result_.regret_plus += r_plus;
   result_.regret_minus += r_minus;
@@ -52,10 +90,20 @@ void MetricsRecorder::record_round(Round t, std::span<const Count> loads,
     result_.post_warmup_regret += static_cast<double>(r);
   }
   result_.trace.record(t, deficit_buf_, r);
+
+  for (const auto& observer : observers_) observer->on_round(view);
+}
+
+void MetricsRecorder::record_round(Round t, std::span<const Count> loads,
+                                   const DemandVector& demands) {
+  record_round(RoundView{.t = t, .loads = loads, .demands = &demands});
 }
 
 SimResult MetricsRecorder::finish(std::span<const Count> final_loads) {
   result_.final_loads.assign(final_loads.begin(), final_loads.end());
+  for (const auto& observer : observers_) {
+    observer->finish(result_.metric_names, result_.metric_values);
+  }
   return std::move(result_);
 }
 

@@ -1,4 +1,4 @@
-// Regret accounting (paper §2.3 and §4).
+// Regret accounting (paper §2.3 and §4) and the per-run metrics driver.
 //
 // r(t) = Σ_j |Δ(j)_t| and R(t) = Σ_{τ<=t} r(τ). The analysis splits R into
 //   R⁺  — overload beyond (1 + c⁺γ)d(j), with c⁺ = 1.2·cs,
@@ -6,31 +6,27 @@
 //   R≈  — the remainder (the "controlled oscillation" band).
 // MetricsRecorder accrues all four per round, counts rounds violating the
 // Theorem 3.1 deficit band 5γ·d(j)+3, applies a warmup split, and feeds the
-// optional Trace. Both engines drive one recorder per run; SimResult is the
-// summary they hand back.
+// optional Trace — these always-on legacy fields keep every historical
+// consumer bit-stable. On top of that it drives the SELECTED streaming
+// metric observers from the registry in metrics/metric.h (RegretBands and
+// RoundView live there): both engines emit one RoundView per round, and
+// finish() folds each observer's named scalars into SimResult's scalar map.
+// SimResult is the summary the engines hand back.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/demand.h"
 #include "core/types.h"
+#include "metrics/metric.h"
 #include "metrics/trace.h"
 
 namespace antalloc {
-
-struct RegretBands {
-  // Paper constants. The arXiv text renders cs as "213"; the surrounding
-  // inequalities (Claim 4.2 needs cs >= 20/9 + 2/(cd-1); Claim 4.5 needs
-  // 1 + 1.2*cs <= 4 at gamma = 1/16) pin cs to [2.34, 2.5], so we default to
-  // 2.4 and keep it configurable. See DESIGN.md §5.
-  double cs = 2.4;
-  double cd = 19.0;
-
-  double c_plus() const { return 1.2 * cs; }
-  double c_minus() const { return 1.0 + 1.2 * cs; }
-};
 
 struct SimResult {
   Round rounds = 0;
@@ -56,6 +52,20 @@ struct SimResult {
   std::vector<Count> final_loads;
   Trace trace;
 
+  // Named scalars from the selected streaming metrics (metrics/metric.h),
+  // flattened in selection order — e.g. "regret", "violations",
+  // "switches_per_ant_round" for the default set. This is what campaigns
+  // aggregate and shard CSVs persist; the fixed fields above stay as the
+  // always-on legacy view.
+  std::vector<std::string> metric_names;
+  std::vector<double> metric_values;
+
+  // Scalar lookup: find_metric returns nullptr when the metric was not
+  // selected; metric throws std::invalid_argument naming the available
+  // scalars.
+  const double* find_metric(std::string_view name) const;
+  double metric(std::string_view name) const;
+
   double average_regret() const {
     return rounds > 0 ? total_regret / static_cast<double>(rounds) : 0.0;
   }
@@ -79,14 +89,27 @@ class MetricsRecorder {
     RegretBands bands{};
     Round warmup = 0;           // rounds excluded from the post-warmup totals
     Round trace_stride = 0;     // 0 = no trace
+    // Streaming metric selection by registry name (metrics/metric.h);
+    // empty = default_metric_names(). Unknown or duplicate names throw
+    // std::invalid_argument at recorder construction.
+    std::vector<std::string> names;
   };
 
   MetricsRecorder(std::int32_t num_tasks, Count n_ants, Options opts);
+  ~MetricsRecorder();
 
-  // Accrues one round: `loads` are W(j)_t, `demands` the vector in force.
+  // Folds one round — the engines' path: view.loads are W(j)_t, the
+  // demands/active set are those in force, and view.switches the assignment
+  // changes applied during round t (lifecycle flush included).
+  void record_round(const RoundView& view);
+
+  // Legacy form for bespoke drivers: all tasks active, no switch count
+  // (the "switches" observer sees 0 — use add_switches only for totals).
   void record_round(Round t, std::span<const Count> loads,
                     const DemandVector& demands);
 
+  // Accrues into the legacy SimResult::switches total only; streaming
+  // observers never see these. Engines report switches via RoundView.
   void add_switches(std::int64_t count) { result_.switches += count; }
 
   // Finalizes and returns the summary (loads = final visible loads).
@@ -96,6 +119,7 @@ class MetricsRecorder {
   Options opts_;
   SimResult result_;
   std::vector<Count> deficit_buf_;
+  std::vector<std::unique_ptr<Metric>> observers_;
 };
 
 }  // namespace antalloc

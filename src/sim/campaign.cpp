@@ -33,17 +33,55 @@ std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) {
 
 }  // namespace
 
+void CampaignCell::fill_legacy_views(std::span<const MetricScalar> specs) {
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    const std::string& s = specs[si].name;
+    if (s == "regret") {
+      regret = metric_stats[si];
+    } else if (s == "violations") {
+      violations = metric_stats[si];
+    } else if (s == "switches_per_ant_round") {
+      switches_per_ant_round = metric_stats[si].mean();
+    }
+  }
+}
+
+std::vector<MetricScalar> CampaignResult::scalar_columns() const {
+  // metric_scalar_columns resolves an empty selection to the default set,
+  // which is also the right reading for hand-built results.
+  return metric_scalar_columns(metrics);
+}
+
 Table CampaignResult::table() const {
-  Table t({"scenario", "algo", "noise", "engine", "replicates", "regret_mean",
-           "regret_ci95", "violations_mean", "switches_per_ant_round"});
+  const std::vector<MetricScalar> specs = scalar_columns();
+  std::vector<std::string> header{"scenario", "algo", "noise", "engine",
+                                  "replicates"};
+  for (const MetricScalar& spec : specs) {
+    header.push_back(spec.column);
+    if (spec.ci95) header.push_back(spec.name + "_ci95");
+  }
+  Table t(header);
   for (const auto& cell : cells) {
-    t.add_row({cell.scenario, cell.algo, cell.noise,
-               std::string(to_string(cell.engine)),
-               Table::fmt(cell.regret.count()),
-               Table::fmt(cell.regret.mean(), 5),
-               Table::fmt(cell.regret.ci_halfwidth(), 4),
-               Table::fmt(cell.violations.mean(), 6),
-               Table::fmt(cell.switches_per_ant_round, 6)});
+    if (cell.metric_stats.size() != specs.size()) {
+      throw std::logic_error(
+          "CampaignResult::table: cell metric_stats do not match the "
+          "result's metric selection (" +
+          std::to_string(cell.metric_stats.size()) + " vs " +
+          std::to_string(specs.size()) + " scalars)");
+    }
+    // specs is never empty (an empty selection resolves to the default
+    // set), so the first scalar's count is the replicate count.
+    std::vector<std::string> row{cell.scenario, cell.algo, cell.noise,
+                                 std::string(to_string(cell.engine)),
+                                 Table::fmt(cell.metric_stats[0].count())};
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      row.push_back(Table::fmt(cell.metric_stats[i].mean(), specs[i].digits));
+      if (specs[i].ci95) {
+        row.push_back(Table::fmt(cell.metric_stats[i].ci_halfwidth(),
+                                 specs[i].ci_digits));
+      }
+    }
+    t.add_row(std::move(row));
   }
   return t;
 }
@@ -75,7 +113,15 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   }
   validate_shard(cfg.shard);
 
+  // Resolve the metric selection once: every cell runs the same observers,
+  // and the flattened scalar specs fix the metric_stats/table layout.
+  const std::vector<std::string> metric_families =
+      resolve_metric_names(cfg.metrics.names);
+  const std::vector<MetricScalar> scalar_specs =
+      metric_scalar_columns(metric_families);
+
   CampaignResult out;
+  out.metrics = metric_families;
   out.cells.reserve(
       shard_cell_indices(campaign_total_cells(cfg), cfg.shard).size());
 
@@ -102,6 +148,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         ecfg.initial = scenario.initial;
         ecfg.initial_loads = scenario.initial_loads;
         ecfg.metrics = cfg.metrics;
+        ecfg.metrics.names = metric_families;
         if (ecfg.metrics.warmup == 0) ecfg.metrics.warmup = cfg.rounds / 2;
 
         CampaignCell cell;
@@ -121,18 +168,16 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         auto results = run_replicated_experiment(
             ecfg, noise.make, scenario.schedule, cfg.replicates, cfg.pool);
 
-        double switches = 0.0;
+        // One RunningStats per selected scalar, fed from each replicate's
+        // metric map in replicate order (the order every shard reproduces,
+        // so merged accumulator states are bit-identical).
+        cell.metric_stats.assign(scalar_specs.size(), RunningStats{});
         for (const auto& r : results) {
-          cell.regret.add(r.post_warmup_average());
-          cell.violations.add(static_cast<double>(r.violation_rounds));
-          if (r.rounds > 0 && r.n_ants > 0) {
-            switches += static_cast<double>(r.switches) /
-                        static_cast<double>(r.rounds) /
-                        static_cast<double>(r.n_ants);
+          for (std::size_t si = 0; si < scalar_specs.size(); ++si) {
+            cell.metric_stats[si].add(r.metric(scalar_specs[si].name));
           }
         }
-        cell.switches_per_ant_round =
-            switches / static_cast<double>(results.size());
+        cell.fill_legacy_views(scalar_specs);
         if (cfg.keep_results) cell.results = std::move(results);
         out.cells.push_back(std::move(cell));
       }
@@ -163,7 +208,10 @@ std::vector<std::size_t> shard_cell_indices(std::size_t total_cells,
 }
 
 std::uint64_t campaign_config_hash(const CampaignConfig& cfg) {
-  std::uint64_t h = rng::hash_string("antalloc-campaign-v1");
+  // v2: the resolved metric selection entered the fingerprint (PR 5), so
+  // shards computed with different metric sets — different columns — can
+  // never merge, and pre-redesign shards are rejected wholesale.
+  std::uint64_t h = rng::hash_string("antalloc-campaign-v2");
 
   h = mix_u64(h, cfg.scenarios.size());
   for (const Scenario& sc : cfg.scenarios) {
@@ -212,6 +260,12 @@ std::uint64_t campaign_config_hash(const CampaignConfig& cfg) {
   h = mix_f64(h, cfg.metrics.bands.cd);
   h = mix_u64(h, static_cast<std::uint64_t>(cfg.metrics.warmup));
   h = mix_u64(h, static_cast<std::uint64_t>(cfg.metrics.trace_stride));
+  // Hash the RESOLVED selection: an empty list and an explicit default list
+  // are the same campaign.
+  const std::vector<std::string> families =
+      resolve_metric_names(cfg.metrics.names);
+  h = mix_u64(h, families.size());
+  for (const std::string& name : families) h = mix_str(h, name);
   h = mix_u64(h, cfg.keep_results ? 1u : 0u);
   h = mix_u64(h, cfg.pair_noise_seeds ? 1u : 0u);
   return h;
@@ -222,6 +276,16 @@ CampaignResult merge_campaign_shards(std::vector<CampaignResult> shards,
   std::vector<CampaignCell> slots(total_cells);
   std::vector<std::uint8_t> seen(total_cells, 0);
   std::size_t filled = 0;
+  std::vector<std::string> metrics;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i == 0) {
+      metrics = shards[i].metrics;
+    } else if (shards[i].metrics != metrics) {
+      throw std::invalid_argument(
+          "merge_campaign_shards: shards were computed with different "
+          "metric selections");
+    }
+  }
   for (CampaignResult& shard : shards) {
     for (CampaignCell& cell : shard.cells) {
       if (cell.flat_index >= total_cells) {
@@ -247,6 +311,7 @@ CampaignResult merge_campaign_shards(std::vector<CampaignResult> shards,
   }
   CampaignResult out;
   out.cells = std::move(slots);
+  out.metrics = std::move(metrics);
   return out;
 }
 

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,13 @@ struct CampaignConfig {
   std::int64_t replicates = 1;
   // metrics.gamma <= 0 inherits each algorithm's learning rate; warmup 0
   // defaults to rounds/2 so post-warmup regret is meaningful out of the box.
+  // metrics.names selects the streaming metrics (metrics/metric.h) every
+  // cell computes: their scalars become the per-cell statistics, the
+  // table()/to_csv() columns and the shard CSV columns. Empty = the default
+  // set ("regret", "violations", "switches"), which reproduces the
+  // historical fixed columns exactly. The RESOLVED list enters
+  // campaign_config_hash, so shards with different metric selections refuse
+  // to merge (and an explicit default list hashes like an empty one).
   MetricsRecorder::Options metrics{};
   // Keep the full per-replicate SimResults in each cell (distribution
   // comparisons, traces). Off: cells carry summary statistics only.
@@ -89,17 +97,38 @@ struct CampaignCell {
   std::string algo;
   std::string noise;
   Engine engine = Engine::kAggregate;  // the engine the cell resolved to
-  RunningStats regret;      // post-warmup average regret per replicate
-  RunningStats violations;  // band-violation rounds per replicate
-  double switches_per_ant_round = 0.0;  // mean over replicates
-  std::vector<SimResult> results;       // per replicate; empty unless kept
+  // Replicate statistics of every selected metric scalar, parallel to
+  // CampaignResult::scalar_columns() — the primary, selection-driven view.
+  std::vector<RunningStats> metric_stats;
+  // Legacy views of the three historical statistics, filled whenever the
+  // corresponding scalar is selected (always true for the default set):
+  // regret = the "regret" scalar's stats, violations = "violations",
+  // switches_per_ant_round = the "switches_per_ant_round" replicate mean.
+  RunningStats regret;
+  RunningStats violations;
+  double switches_per_ant_round = 0.0;
+  std::vector<SimResult> results;  // per replicate; empty unless kept
+
+  // (Re)derives the legacy views above from metric_stats, whose layout is
+  // `specs`. The single source of the scalar-name -> legacy-field mapping:
+  // run_campaign and the shard reader both go through it, which is what
+  // keeps merged and unsharded legacy fields bit-identical.
+  void fill_legacy_views(std::span<const MetricScalar> specs);
 };
 
 struct CampaignResult {
   std::vector<CampaignCell> cells;  // scenario-major, then algo, then noise
+  // The resolved metric selection the cells were computed with (empty only
+  // for hand-built results, which table() treats as the default set).
+  std::vector<std::string> metrics;
 
-  // Tidy results: one row per cell with mean/ci95 regret, violations and
-  // switch rates. to_csv() is the same data as CSV.
+  // Flattened scalar column specs for `metrics` — the layout of every
+  // cell's metric_stats and of the table()/to_csv()/shard CSV columns.
+  std::vector<MetricScalar> scalar_columns() const;
+
+  // Tidy results: one row per cell with labels plus, per selected scalar,
+  // the replicate mean (and a ci95 column where the metric declares one).
+  // to_csv() is the same data as CSV.
   Table table() const;
   std::string to_csv() const;
 
@@ -135,7 +164,9 @@ std::vector<std::size_t> shard_cell_indices(std::size_t total_cells,
 // Content fingerprint of everything that determines a campaign's numbers:
 // both axes' labels and parameters, scenario schedules segment by segment
 // (demands + active sets), engine, colony shape, seed, replicates, metrics
-// options and the seed-pairing/keep_results switches. Deliberately excluded:
+// options INCLUDING the resolved metric-name selection (so shards computed
+// with different metric sets — hence different columns — refuse to merge),
+// and the seed-pairing/keep_results switches. Deliberately excluded:
 // the shard spec and thread pool (they must not affect results — that is the
 // whole point), and the noise factories' behavior (closures cannot be
 // hashed; the noise NAME stands in for it, so give distinct noise configs

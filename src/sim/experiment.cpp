@@ -112,21 +112,42 @@ std::vector<SimResult> run_replicated_experiment(const ExperimentConfig& cfg,
       pool);
 }
 
-std::vector<double> extract_post_warmup_average(
-    const std::vector<SimResult>& results) {
+std::vector<double> extract_metric(const std::vector<SimResult>& results,
+                                   std::string_view name) {
   std::vector<double> out;
   out.reserve(results.size());
-  for (const auto& r : results) out.push_back(r.post_warmup_average());
+  for (const auto& r : results) {
+    if (const double* value = r.find_metric(name)) {
+      out.push_back(*value);
+    } else if (name == "regret") {
+      out.push_back(r.post_warmup_average());
+    } else if (name == "violations") {
+      out.push_back(static_cast<double>(r.violation_rounds));
+    } else if (name == "switches_per_ant_round") {
+      out.push_back(r.rounds > 0 && r.n_ants > 0
+                        ? static_cast<double>(r.switches) /
+                              static_cast<double>(r.rounds) /
+                              static_cast<double>(r.n_ants)
+                        : 0.0);
+    } else {
+      // Not recorded and not legacy-derivable: re-run with the metric
+      // selected (ExperimentConfig::metrics.names).
+      r.metric(name);  // throws, naming the recorded scalars
+    }
+  }
   return out;
+}
+
+std::vector<double> extract_post_warmup_average(
+    const std::vector<SimResult>& results) {
+  return extract_metric(results, "regret");
 }
 
 std::vector<double> extract_closeness(const std::vector<SimResult>& results,
                                       double gamma_star, Count total_demand) {
-  std::vector<double> out;
-  out.reserve(results.size());
-  for (const auto& r : results) {
-    out.push_back(r.closeness(gamma_star, total_demand));
-  }
+  std::vector<double> out = extract_metric(results, "regret");
+  const double denom = gamma_star * static_cast<double>(total_demand);
+  for (double& value : out) value = denom > 0.0 ? value / denom : 0.0;
   return out;
 }
 

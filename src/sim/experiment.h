@@ -48,6 +48,10 @@ struct ExperimentConfig {
   // Explicit per-task starting loads (remaining ants idle). Overrides
   // `initial` — for warm starts and bespoke hostile states.
   std::vector<Count> initial_loads;
+  // Recording options, including the streaming metric selection:
+  // metrics.names lists registry metrics (metrics/metric.h) whose named
+  // scalars land in SimResult::metric_names/metric_values; empty = the
+  // default set ("regret", "violations", "switches").
   MetricsRecorder::Options metrics{};
 };
 
@@ -71,7 +75,18 @@ std::vector<SimResult> run_replicated_experiment(const ExperimentConfig& cfg,
                                                  std::int64_t replicates,
                                                  ThreadPool* pool = nullptr);
 
-// Common scalar extractions over replicate sets.
+// Pulls the named scalar from each replicate's metric map (SimResult). For
+// the historical scalars ("regret", "violations", "switches_per_ant_round")
+// it falls back to the always-on legacy SimResult fields when the run did
+// not select the metric, so extraction works on any result set. Throws
+// std::invalid_argument for a scalar that is neither recorded nor
+// legacy-derivable.
+std::vector<double> extract_metric(const std::vector<SimResult>& results,
+                                   std::string_view name);
+
+// Legacy extraction shims — thin wrappers over extract_metric, kept so the
+// benches compile unchanged. extract_post_warmup_average is the "regret"
+// scalar; extract_closeness is that scalar rescaled by 1/(γ*·Σd).
 std::vector<double> extract_post_warmup_average(
     const std::vector<SimResult>& results);
 std::vector<double> extract_closeness(const std::vector<SimResult>& results,

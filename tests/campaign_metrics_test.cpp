@@ -1,0 +1,232 @@
+// Metric selection through the campaign stack: dynamic per-scalar columns,
+// the metric list in the config hash (shards with different selections
+// refuse to merge), the v2 shard disk round trip with custom metrics, and
+// the clear version error on pre-redesign (v1) shard directories.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "io/campaign_io.h"
+#include "noise/sigmoid.h"
+#include "sim/campaign.h"
+
+namespace antalloc {
+namespace {
+
+namespace fs = std::filesystem;
+
+CampaignConfig metric_matrix(std::vector<std::string> metric_selection) {
+  const DemandVector base({Count{60}, Count{40}});
+  CampaignConfig cfg;
+  for (const char* family : {"constant", "single-shock"}) {
+    ScenarioSpec spec;
+    spec.name = family;
+    spec.initial = InitialKind::kUniform;
+    cfg.scenarios.push_back(make_scenario(spec, base, 200));
+  }
+  cfg.algos = {AlgoConfig{.name = "ant", .gamma = 0.05},
+               AlgoConfig{.name = "trivial", .gamma = 0.05}};
+  cfg.noises = {{"sigmoid",
+                 [] { return std::make_unique<SigmoidFeedback>(1.0); }}};
+  cfg.n_ants = 400;
+  cfg.rounds = 200;
+  cfg.seed = 13;
+  cfg.replicates = 2;
+  cfg.metrics.names = std::move(metric_selection);
+  return cfg;
+}
+
+std::string make_temp_dir(const std::string& tag) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("antalloc_metric_test_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void expect_stats_identical(const RunningStats& a, const RunningStats& b) {
+  const auto sa = a.state();
+  const auto sb = b.state();
+  EXPECT_EQ(sa.count, sb.count);
+  EXPECT_EQ(sa.mean, sb.mean);
+  EXPECT_EQ(sa.m2, sb.m2);
+  EXPECT_EQ(sa.min, sb.min);
+  EXPECT_EQ(sa.max, sb.max);
+}
+
+TEST(CampaignMetrics, CellsCarryPerScalarStats) {
+  const auto cfg =
+      metric_matrix({"regret", "convergence", "oscillation"});
+  const CampaignResult result = run_campaign(cfg);
+  EXPECT_EQ(result.metrics,
+            (std::vector<std::string>{"regret", "convergence",
+                                      "oscillation"}));
+  const auto specs = result.scalar_columns();
+  ASSERT_EQ(specs.size(), 7u);  // 1 + 3 + 3 scalars
+  for (const CampaignCell& cell : result.cells) {
+    ASSERT_EQ(cell.metric_stats.size(), specs.size());
+    for (const RunningStats& stats : cell.metric_stats) {
+      EXPECT_EQ(stats.count(), cfg.replicates);
+    }
+    // The "regret" scalar mirrors into the legacy field; the unselected
+    // legacy statistics stay empty.
+    expect_stats_identical(cell.regret, cell.metric_stats[0]);
+    EXPECT_EQ(cell.violations.count(), 0);
+  }
+  // The table grows one column per scalar (plus regret's ci95).
+  const std::string header =
+      result.to_csv().substr(0, result.to_csv().find('\n'));
+  EXPECT_EQ(header,
+            "scenario,algo,noise,engine,replicates,regret_mean,regret_ci95,"
+            "convergence_round_mean,last_violation_mean,band_occupancy_mean,"
+            "osc_crossing_rate_mean,osc_max_abs_deficit_mean,"
+            "osc_mean_abs_deficit_mean");
+}
+
+TEST(CampaignMetrics, DefaultSelectionKeepsHistoricalColumns) {
+  const auto cfg = metric_matrix({});
+  const CampaignResult result = run_campaign(cfg);
+  EXPECT_EQ(result.metrics, default_metric_names());
+  const std::string csv = result.to_csv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "scenario,algo,noise,engine,replicates,regret_mean,regret_ci95,"
+            "violations_mean,switches_per_ant_round");
+  for (const CampaignCell& cell : result.cells) {
+    ASSERT_EQ(cell.metric_stats.size(), 3u);
+    expect_stats_identical(cell.regret, cell.metric_stats[0]);
+    expect_stats_identical(cell.violations, cell.metric_stats[1]);
+    EXPECT_EQ(cell.switches_per_ant_round, cell.metric_stats[2].mean());
+  }
+}
+
+TEST(CampaignMetrics, HashFoldsResolvedSelection) {
+  const auto base = metric_matrix({});
+  const std::uint64_t default_hash = campaign_config_hash(base);
+
+  // Explicit default == empty: same campaign, same hash.
+  auto explicit_default = metric_matrix(default_metric_names());
+  EXPECT_EQ(campaign_config_hash(explicit_default), default_hash);
+
+  // A different selection is a different campaign.
+  auto custom = metric_matrix({"regret", "convergence"});
+  EXPECT_NE(campaign_config_hash(custom), default_hash);
+
+  // Order matters (it is the column order).
+  auto reordered = metric_matrix({"convergence", "regret"});
+  EXPECT_NE(campaign_config_hash(reordered), campaign_config_hash(custom));
+
+  // Unknown names are rejected at hashing (and everywhere else).
+  auto bogus = metric_matrix({"no-such-metric"});
+  EXPECT_THROW(campaign_config_hash(bogus), std::invalid_argument);
+  EXPECT_THROW(run_campaign(bogus), std::invalid_argument);
+}
+
+TEST(CampaignMetrics, CustomSelectionShardRoundTripBitIdentical) {
+  const std::string dir = make_temp_dir("roundtrip");
+  // regret-split included deliberately: its scalars share names with the
+  // legacy SimResult fields, so this pins that the results CSV keeps the
+  // two column families distinct.
+  auto cfg = metric_matrix({"regret", "switches", "regret-split",
+                            "convergence", "oscillation"});
+  cfg.keep_results = true;
+  const CampaignResult full = run_campaign(cfg);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    cfg.shard = {i, 3};
+    write_campaign_shard(dir, cfg, run_campaign(cfg));
+  }
+  const MergedCampaign merged = merge_campaign_dir(dir);
+  cfg.shard = {};
+  EXPECT_EQ(merged.config_hash, campaign_config_hash(cfg));
+  EXPECT_EQ(merged.result.metrics, full.metrics);
+
+  ASSERT_EQ(merged.result.cells.size(), full.cells.size());
+  for (std::size_t i = 0; i < full.cells.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    const CampaignCell& x = merged.result.cells[i];
+    const CampaignCell& y = full.cells[i];
+    ASSERT_EQ(x.metric_stats.size(), y.metric_stats.size());
+    for (std::size_t si = 0; si < x.metric_stats.size(); ++si) {
+      expect_stats_identical(x.metric_stats[si], y.metric_stats[si]);
+    }
+    EXPECT_EQ(x.switches_per_ant_round, y.switches_per_ant_round);
+    // Per-replicate scalar maps round-trip through the results CSV.
+    ASSERT_EQ(x.results.size(), y.results.size());
+    for (std::size_t r = 0; r < x.results.size(); ++r) {
+      EXPECT_EQ(x.results[r].metric_names, y.results[r].metric_names);
+      EXPECT_EQ(x.results[r].metric_values, y.results[r].metric_values);
+      EXPECT_EQ(x.results[r].final_loads, y.results[r].final_loads);
+    }
+  }
+  EXPECT_EQ(merged.result.to_csv(), full.to_csv());
+
+  // The manifest records the selection.
+  const ShardManifest manifest = read_shard_manifest(
+      (fs::path(dir) / "shard-0-of-3.manifest").string());
+  EXPECT_EQ(manifest.metrics, full.metrics);
+  fs::remove_all(dir);
+}
+
+TEST(CampaignMetrics, MergeRefusesMixedMetricSelections) {
+  const std::string dir = make_temp_dir("mixed");
+  auto a = metric_matrix({"regret", "convergence"});
+  a.shard = {0, 2};
+  write_campaign_shard(dir, a, run_campaign(a));
+
+  auto b = metric_matrix({"regret", "oscillation"});
+  b.shard = {1, 2};
+  write_campaign_shard(dir, b, run_campaign(b));
+
+  // Different metric lists -> different config hashes -> refused.
+  EXPECT_THROW(merge_campaign_dir(dir), std::runtime_error);
+
+  // And the in-memory merge refuses too.
+  std::vector<CampaignResult> shards;
+  a.shard = {0, 2};
+  b.shard = {1, 2};
+  shards.push_back(run_campaign(a));
+  shards.push_back(run_campaign(b));
+  EXPECT_THROW(
+      merge_campaign_shards(std::move(shards), campaign_total_cells(a)),
+      std::invalid_argument);
+  fs::remove_all(dir);
+}
+
+TEST(CampaignMetrics, PreRedesignShardDirectoryGetsVersionError) {
+  const std::string dir = make_temp_dir("v1");
+  {
+    std::ofstream manifest(fs::path(dir) / "shard-0-of-1.manifest");
+    manifest << "format antalloc-campaign-shard-v1\n"
+             << "config_hash 00000000deadbeef\n"
+             << "shard_index 0\n"
+             << "shard_count 1\n";
+  }
+  try {
+    merge_campaign_dir(dir);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    // A version error naming both formats — NOT a checksum mismatch.
+    EXPECT_NE(message.find("antalloc-campaign-shard-v1"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("antalloc-campaign-shard-v2"), std::string::npos)
+        << message;
+    EXPECT_EQ(message.find("checksum"), std::string::npos) << message;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CampaignMetrics, WriteRefusesResultFromDifferentSelection) {
+  const std::string dir = make_temp_dir("foreign");
+  auto ran = metric_matrix({"regret", "convergence"});
+  const CampaignResult result = run_campaign(ran);
+  auto other = metric_matrix({"regret", "oscillation"});
+  EXPECT_THROW(write_campaign_shard(dir, other, result),
+               std::invalid_argument);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace antalloc

@@ -1,0 +1,119 @@
+// The metric registry contract: registration/listing, unknown-name and
+// duplicate-selection errors, scalar-column layout, and the observer
+// protocol (every built-in emits exactly its declared scalars, in order).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "metrics/metric.h"
+
+namespace antalloc {
+namespace {
+
+MetricContext test_context() {
+  return MetricContext{.num_tasks = 2,
+                       .n_ants = 100,
+                       .gamma = 0.1,
+                       .bands = {},
+                       .warmup = 0};
+}
+
+TEST(MetricRegistry, ListsBuiltinsInRegistrationOrder) {
+  const auto names = metric_names();
+  ASSERT_GE(names.size(), 7u);
+  // The historical trio registers first: it is the default selection and
+  // the default column order.
+  EXPECT_EQ(names[0], "regret");
+  EXPECT_EQ(names[1], "violations");
+  EXPECT_EQ(names[2], "switches");
+  for (const auto& name : names) {
+    EXPECT_TRUE(has_metric(name)) << name;
+    EXPECT_FALSE(std::string(metric_description(name)).empty()) << name;
+    EXPECT_FALSE(metric_scalars(name).empty()) << name;
+  }
+  EXPECT_FALSE(has_metric("no-such-metric"));
+}
+
+TEST(MetricRegistry, UnknownNamesThrow) {
+  EXPECT_THROW(metric_description("no-such-metric"), std::invalid_argument);
+  EXPECT_THROW(metric_scalars("no-such-metric"), std::invalid_argument);
+  EXPECT_THROW(make_metric("no-such-metric", test_context()),
+               std::invalid_argument);
+  EXPECT_THROW(resolve_metric_names({"regret", "no-such-metric"}),
+               std::invalid_argument);
+  // The error names the registered metrics so typos are self-diagnosing.
+  try {
+    make_metric("regrets", test_context());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("regret"), std::string::npos);
+  }
+}
+
+TEST(MetricRegistry, ResolvesEmptySelectionToDefault) {
+  EXPECT_EQ(resolve_metric_names({}), default_metric_names());
+  EXPECT_EQ(default_metric_names(),
+            (std::vector<std::string>{"regret", "violations", "switches"}));
+  // An explicit selection passes through in the caller's order.
+  const std::vector<std::string> custom{"oscillation", "regret"};
+  EXPECT_EQ(resolve_metric_names(custom), custom);
+}
+
+TEST(MetricRegistry, RejectsDuplicateSelection) {
+  EXPECT_THROW(resolve_metric_names({"regret", "regret"}),
+               std::invalid_argument);
+}
+
+TEST(MetricRegistry, ScalarNamesAreGloballyUnique) {
+  // Scalars key SimResult's map and the shard CSV columns, so no two
+  // metrics may emit the same scalar name.
+  std::set<std::string> seen;
+  for (const auto& name : metric_names()) {
+    for (const auto& spec : metric_scalars(name)) {
+      EXPECT_TRUE(seen.insert(spec.name).second)
+          << "duplicate scalar " << spec.name;
+    }
+  }
+}
+
+TEST(MetricRegistry, ScalarColumnsFlattenInSelectionOrder) {
+  const auto columns =
+      metric_scalar_columns({"convergence", "regret", "oscillation"});
+  ASSERT_EQ(columns.size(), 7u);
+  EXPECT_EQ(columns[0].name, "convergence_round");
+  EXPECT_EQ(columns[3].name, "regret");
+  EXPECT_TRUE(columns[3].ci95);
+  EXPECT_EQ(columns[4].name, "osc_crossing_rate");
+  // Default-set columns reproduce the historical campaign header labels.
+  const auto default_columns = metric_scalar_columns({});
+  ASSERT_EQ(default_columns.size(), 3u);
+  EXPECT_EQ(default_columns[0].column, "regret_mean");
+  EXPECT_EQ(default_columns[1].column, "violations_mean");
+  EXPECT_EQ(default_columns[2].column, "switches_per_ant_round");
+}
+
+TEST(MetricRegistry, EveryBuiltinEmitsItsDeclaredScalars) {
+  const DemandVector demands({Count{10}, Count{20}});
+  const std::vector<Count> loads{Count{8}, Count{25}};
+  for (const auto& name : metric_names()) {
+    SCOPED_TRACE(name);
+    auto metric = make_metric(name, test_context());
+    metric->on_round(RoundView{.t = 1,
+                               .loads = loads,
+                               .demands = &demands,
+                               .switches = 7});
+    std::vector<std::string> names;
+    std::vector<double> values;
+    metric->finish(names, values);
+    const auto& specs = metric_scalars(name);
+    ASSERT_EQ(names.size(), specs.size());
+    ASSERT_EQ(values.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_EQ(names[i], specs[i].name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace antalloc
