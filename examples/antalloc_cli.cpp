@@ -10,12 +10,22 @@
 //   ./build/examples/antalloc_cli --campaign=true --scenarios=all --algos=ant --metrics=regret,convergence,oscillation
 //   ./build/examples/antalloc_cli --campaign=true --scenarios=all --algos=ant --shard=0/3 --out=shards/
 //   ./build/examples/antalloc_cli --merge=shards/ --csv=merged.csv
+//   ./build/examples/antalloc_cli --rounds=3000 --trace-out=run.trace
+//   ./build/examples/antalloc_cli --replay=run.trace --metrics=regret,oscillation
+//   ./build/examples/antalloc_cli --campaign=true --scenarios=all --algos=ant --trace-dir=traces/
 //   ./build/examples/antalloc_cli --list-scenarios   (or --list-algos, --list-metrics)
 //
 // Sharding: --shard=i/N runs only the cells shard i owns and --out writes
 // them as a CSV/manifest pair; run all N shards (any machines, any order),
 // collect the pairs into one directory, and --merge reassembles the full
 // campaign bit-identical to an unsharded run. See docs/CAMPAIGNS.md.
+//
+// Tracing: --trace-out writes a single run's per-round stream as a binary
+// trace; --replay re-drives any metric selection over a trace from disk,
+// scalar-for-scalar bit-equal to the live run; --trace-dir persists one
+// trace per campaign replicate (the shard results.csv is then replayed from
+// them instead of held in memory). See the trace-subsystem section of
+// docs/ARCHITECTURE.md.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -25,6 +35,8 @@
 #include "io/campaign_io.h"
 #include "io/plot.h"
 #include "io/table.h"
+#include "io/trace_log.h"
+#include "io/trace_reader.h"
 #include "metrics/convergence.h"
 #include "noise/adversarial.h"
 #include "noise/exact.h"
@@ -116,6 +128,9 @@ int main(int argc, char** argv) {
   const std::string out_dir = args.get_string("out", "");
   const std::string merge_dir = args.get_string("merge", "");
   const std::string metrics_flag = args.get_string("metrics", "");
+  const std::string trace_out = args.get_string("trace-out", "");
+  const std::string replay_path = args.get_string("replay", "");
+  const std::string trace_dir = args.get_string("trace-dir", "");
   const bool list_scenarios = args.get_bool("list-scenarios", false);
   const bool list_algos = args.get_bool("list-algos", false);
   const bool list_metrics = args.get_bool("list-metrics", false);
@@ -138,6 +153,9 @@ int main(int argc, char** argv) {
                 default_metrics_label().c_str());
     std::printf("sharding: --shard=i/N --out=DIR to run and persist one "
                 "shard, --merge=DIR to reassemble (docs/CAMPAIGNS.md)\n");
+    std::printf("tracing: --trace-out=FILE (single run) or --trace-dir=DIR "
+                "(campaign, one trace per replicate) write binary traces; "
+                "--replay=FILE re-drives --metrics over a trace\n");
     return 0;
   }
   args.check_unknown();
@@ -203,6 +221,35 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Replay mode: no simulation at all — open a trace, re-drive the selected
+  // metrics over its RoundView stream, and print the same summary scalars
+  // the live run would have. The header carries everything the recorder
+  // needs (gamma, bands, warmup), so only the metric selection is an input.
+  if (!replay_path.empty()) {
+    TraceReader reader(replay_path);
+    const TraceInfo& info = reader.info();
+    const SimResult res = replay_trace(reader, split_csv(metrics_flag));
+    std::printf("replayed %s: %lld rounds, n=%lld, k=%d, seed=%016llx, "
+                "config %016llx, gamma=%.4f, warmup=%lld\n\n",
+                replay_path.c_str(), static_cast<long long>(info.rounds),
+                static_cast<long long>(info.n_ants), info.num_tasks,
+                static_cast<unsigned long long>(info.seed),
+                static_cast<unsigned long long>(info.config_hash), info.gamma,
+                static_cast<long long>(info.warmup));
+    Table summary({"metric", "value"});
+    summary.add_row({"average regret (post-warmup)",
+                     Table::fmt(res.post_warmup_average(), 5)});
+    summary.add_row({"rounds violating the band",
+                     Table::fmt(res.violation_rounds)});
+    summary.add_row({"total switches", Table::fmt(res.switches)});
+    for (std::size_t i = 0; i < res.metric_names.size(); ++i) {
+      summary.add_row({"metric " + res.metric_names[i],
+                       Table::fmt(res.metric_values[i], 6)});
+    }
+    std::printf("%s\n", summary.render().c_str());
+    return 0;
+  }
+
   // Sharding flags only mean something for a campaign: a worker that ran
   // with --shard but without --campaign must fail here, not produce nothing
   // and be discovered at merge time.
@@ -210,6 +257,16 @@ int main(int argc, char** argv) {
     throw std::invalid_argument(
         "--shard/--out require --campaign=true (sharding partitions the "
         "campaign matrix; see docs/CAMPAIGNS.md)");
+  }
+  // Same discipline for the trace flags: each belongs to exactly one mode.
+  if (!campaign_mode && !trace_dir.empty()) {
+    throw std::invalid_argument(
+        "--trace-dir requires --campaign=true (one trace per replicate; "
+        "use --trace-out for a single run)");
+  }
+  if (campaign_mode && !trace_out.empty()) {
+    throw std::invalid_argument(
+        "--trace-out is for single runs; use --trace-dir for campaigns");
   }
 
   // Parse the string flags into enums once, at the boundary.
@@ -266,6 +323,7 @@ int main(int argc, char** argv) {
     // --metrics selects the streaming metric set: the campaign columns, the
     // shard CSV columns, and (through the config hash) the merge key.
     campaign.metrics.names = split_csv(metrics_flag);
+    campaign.trace_dir = trace_dir;
     if (!shard_flag.empty()) campaign.shard = parse_shard(shard_flag);
 
     std::printf("campaign: %lld scenarios x %lld algos on %s, n=%lld, k=%d, "
@@ -322,7 +380,30 @@ int main(int argc, char** argv) {
 
   auto fm = noise_spec.make();
   const Engine resolved = resolve_engine(engine, cfg.algo, *fm);
-  const SimResult res = run_experiment(cfg, *fm, DemandSchedule(demands));
+  const DemandSchedule schedule(demands);
+
+  // --trace-out: tap the run's RoundView stream into a binary trace. The
+  // header gets the resolved recorder options so --replay reconstructs the
+  // same recorder; config_hash 0 marks an ad-hoc (non-campaign) trace.
+  std::unique_ptr<TraceWriter> trace_writer;
+  if (!trace_out.empty()) {
+    const MetricsRecorder::Options resolved_opts = resolved_metrics(cfg);
+    trace_writer = std::make_unique<TraceWriter>(
+        trace_out, schedule,
+        TraceMeta{.n_ants = n,
+                  .seed = seed,
+                  .gamma = resolved_opts.gamma,
+                  .bands = resolved_opts.bands,
+                  .warmup = resolved_opts.warmup});
+    cfg.metrics.sink = trace_writer.get();
+  }
+
+  const SimResult res = run_experiment(cfg, *fm, schedule);
+  if (trace_writer) {
+    trace_writer->close();  // surfaces deferred writer-thread I/O errors
+    std::printf("[trace written to %s (%lld rounds)]\n", trace_out.c_str(),
+                static_cast<long long>(trace_writer->rounds_written()));
+  }
 
   std::printf("%s on %s (%s engine): n=%lld, k=%d, d=%lld, gamma=%.4f, "
               "%lld rounds\n\n",

@@ -114,7 +114,8 @@ SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
                                     .loads = loads,
                                     .demands = &demands,
                                     .active = &current_active,
-                                    .switches = flushed + switches});
+                                    .switches = flushed + switches,
+                                    .flushes = flushed});
   }
   return recorder.finish(loads);
 }

@@ -59,7 +59,8 @@ SimResult run_aggregate_sim(AggregateKernel& kernel, const FeedbackModel& fm,
                                     .loads = out.loads,
                                     .demands = &demands,
                                     .active = &current_active,
-                                    .switches = flushed + out.switches});
+                                    .switches = flushed + out.switches,
+                                    .flushes = flushed});
   }
   return recorder.finish(out.loads);
 }

@@ -213,37 +213,55 @@ std::string rows_csv(const CampaignResult& result,
   return out;
 }
 
+void append_result_row(std::string& out, std::size_t flat_index,
+                       std::size_t replicate, const SimResult& res,
+                       const std::vector<MetricScalar>& specs) {
+  out += fmt_i64(static_cast<std::int64_t>(flat_index)) + ",";
+  out += fmt_i64(static_cast<std::int64_t>(replicate)) + ",";
+  out += fmt_i64(res.rounds) + ",";
+  out += fmt_i64(res.n_ants) + ",";
+  out += fmt_f64(res.total_regret) + ",";
+  out += fmt_f64(res.regret_plus) + ",";
+  out += fmt_f64(res.regret_near) + ",";
+  out += fmt_f64(res.regret_minus) + ",";
+  out += fmt_i64(res.post_warmup_rounds) + ",";
+  out += fmt_f64(res.post_warmup_regret) + ",";
+  out += fmt_i64(res.violation_rounds) + ",";
+  out += fmt_i64(res.switches) + ",";
+  std::string loads;
+  for (const Count w : res.final_loads) {
+    if (!loads.empty()) loads += ';';
+    loads += fmt_i64(w);
+  }
+  out += loads;
+  // One value column per selected scalar, pulled by name so the file
+  // layout always matches the manifest's metric list.
+  for (const MetricScalar& spec : specs) {
+    out += ',';
+    out += fmt_f64(res.metric(spec.name));
+  }
+  out += "\n";
+}
+
+// Per-replicate rows from the cells' in-memory results (the deprecated
+// keep_results path) or, preferably, replayed from the campaign's binary
+// traces — the two produce bit-identical files, which
+// campaign_trace_test pins.
 std::string results_csv(const CampaignResult& result,
+                        const CampaignConfig& cfg,
                         const std::vector<MetricScalar>& specs) {
   std::string out = results_header(specs) + "\n";
   for (const CampaignCell& cell : result.cells) {
-    for (std::size_t r = 0; r < cell.results.size(); ++r) {
-      const SimResult& res = cell.results[r];
-      out += fmt_i64(static_cast<std::int64_t>(cell.flat_index)) + ",";
-      out += fmt_i64(static_cast<std::int64_t>(r)) + ",";
-      out += fmt_i64(res.rounds) + ",";
-      out += fmt_i64(res.n_ants) + ",";
-      out += fmt_f64(res.total_regret) + ",";
-      out += fmt_f64(res.regret_plus) + ",";
-      out += fmt_f64(res.regret_near) + ",";
-      out += fmt_f64(res.regret_minus) + ",";
-      out += fmt_i64(res.post_warmup_rounds) + ",";
-      out += fmt_f64(res.post_warmup_regret) + ",";
-      out += fmt_i64(res.violation_rounds) + ",";
-      out += fmt_i64(res.switches) + ",";
-      std::string loads;
-      for (const Count w : res.final_loads) {
-        if (!loads.empty()) loads += ';';
-        loads += fmt_i64(w);
+    if (cfg.keep_results) {
+      for (std::size_t r = 0; r < cell.results.size(); ++r) {
+        append_result_row(out, cell.flat_index, r, cell.results[r], specs);
       }
-      out += loads;
-      // One value column per selected scalar, pulled by name so the file
-      // layout always matches the manifest's metric list.
-      for (const MetricScalar& spec : specs) {
-        out += ',';
-        out += fmt_f64(res.metric(spec.name));
+    } else {
+      const std::vector<SimResult> replayed = replay_cell_results(
+          cfg.trace_dir, cell.flat_index, cfg.replicates, result.metrics);
+      for (std::size_t r = 0; r < replayed.size(); ++r) {
+        append_result_row(out, cell.flat_index, r, replayed[r], specs);
       }
-      out += "\n";
     }
   }
   return out;
@@ -401,10 +419,13 @@ std::string write_campaign_shard(const std::string& dir,
   const std::string rows_name = stem + ".csv";
   write_file((fs::path(dir) / rows_name).string(), rows);
 
+  // The per-replicate file rides on either source: in-memory results
+  // (deprecated keep_results) or the campaign's binary traces (trace_dir).
+  const bool want_results = cfg.keep_results || !cfg.trace_dir.empty();
   std::string results_name;
   std::uint64_t results_checksum = 0;
-  if (cfg.keep_results) {
-    const std::string results = results_csv(result, specs);
+  if (want_results) {
+    const std::string results = results_csv(result, cfg, specs);
     results_name = stem + ".results.csv";
     results_checksum = rng::hash_string(results);
     write_file((fs::path(dir) / results_name).string(), results);
@@ -418,11 +439,13 @@ std::string write_campaign_shard(const std::string& dir,
   manifest += "shard_cells " + std::to_string(result.cells.size()) + "\n";
   manifest += "replicates " + std::to_string(cfg.replicates) + "\n";
   manifest += "metrics " + join_names(families) + "\n";
-  manifest += std::string("keep_results ") + (cfg.keep_results ? "1" : "0") +
+  // "keep_results" in the manifest means "a results.csv is present",
+  // whichever source produced it — readers only care that the rows exist.
+  manifest += std::string("keep_results ") + (want_results ? "1" : "0") +
               "\n";
   manifest += "rows " + rows_name + "\n";
   manifest += "rows_checksum " + fmt_hex(rng::hash_string(rows)) + "\n";
-  if (cfg.keep_results) {
+  if (want_results) {
     manifest += "results " + results_name + "\n";
     manifest += "results_checksum " + fmt_hex(results_checksum) + "\n";
   }

@@ -14,10 +14,13 @@
 //                               hash, shard coordinates, the metric
 //                               selection, row counts and an FNV-1a
 //                               checksum of each data file;
-//   shard-<i>-of-<N>.results.csv (keep_results only) one row per replicate
-//                               with the SimResult scalar fields, final
-//                               loads, and one column per selected metric
-//                               scalar.
+//   shard-<i>-of-<N>.results.csv one row per replicate with the SimResult
+//                               scalar fields, final loads, and one column
+//                               per selected metric scalar. Produced when
+//                               the campaign set trace_dir (rows REPLAYED
+//                               from the binary traces, bit-equal to the
+//                               live run) or the deprecated keep_results
+//                               (rows from the in-memory results).
 //
 // Format v2 (the streaming-metrics redesign): columns are named by the
 // metric selection, which is itself folded into campaign_config_hash —

@@ -1,0 +1,198 @@
+#include "io/trace_log.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "rng/splitmix.h"
+
+namespace antalloc {
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void store_u64(std::uint8_t* dst, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+// Byte offset of the round-count word inside the header (word 9: magic,
+// version|k, n_ants, seed, config_hash, gamma, cs, cd, warmup precede it).
+constexpr std::size_t kRoundCountOffset = 8 * (kTraceHeaderWords - 1);
+
+}  // namespace
+
+std::string trace_file_name(std::size_t flat_index, std::int64_t replicate) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "cell-%06zu-rep-%03lld.trace", flat_index,
+                static_cast<long long>(replicate));
+  return buf;
+}
+
+TraceWriter::TraceWriter(const std::string& path,
+                         const DemandSchedule& schedule, const TraceMeta& meta,
+                         std::size_t ring_capacity)
+    : path_(path),
+      k_(schedule.num_tasks()),
+      record_bytes_(trace_record_bytes(schedule.num_tasks())),
+      ring_(trace_record_bytes(schedule.num_tasks()),
+            ring_capacity == 0 ? 1 : ring_capacity) {
+  if (k_ <= 0 || k_ > kMaxAgentTasks) {
+    throw TraceError("TraceWriter: num_tasks must be in [1, " +
+                     std::to_string(kMaxAgentTasks) +
+                     "] (the active mask is one 64-bit word), got " +
+                     std::to_string(k_));
+  }
+
+  // Header (round count = unterminated sentinel until close patches it).
+  put_u64(meta_bytes_, kTraceMagic);
+  put_u64(meta_bytes_, static_cast<std::uint64_t>(kTraceVersion) |
+                           (static_cast<std::uint64_t>(k_) << 32));
+  put_u64(meta_bytes_, static_cast<std::uint64_t>(meta.n_ants));
+  put_u64(meta_bytes_, meta.seed);
+  put_u64(meta_bytes_, meta.config_hash);
+  put_f64(meta_bytes_, meta.gamma);
+  put_f64(meta_bytes_, meta.bands.cs);
+  put_f64(meta_bytes_, meta.bands.cd);
+  put_u64(meta_bytes_, static_cast<std::uint64_t>(meta.warmup));
+  put_u64(meta_bytes_, kUnterminatedRounds);
+
+  // Segment table: the whole schedule, so records never repeat demands.
+  put_u64(meta_bytes_, schedule.num_segments());
+  for (std::size_t s = 0; s < schedule.num_segments(); ++s) {
+    put_u64(meta_bytes_, static_cast<std::uint64_t>(schedule.segment_start(s)));
+    put_u64(meta_bytes_, schedule.segment_active(s).mask64());
+    for (const Count d : schedule.segment_demands(s).values()) {
+      put_u64(meta_bytes_, static_cast<std::uint64_t>(d));
+    }
+  }
+
+  // Meta checksum placeholder; patched with the final round count on close.
+  put_u64(meta_bytes_, 0);
+
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw TraceIoError("TraceWriter: cannot open " + path_ + " for writing");
+  }
+  if (std::fwrite(meta_bytes_.data(), 1, meta_bytes_.size(), file_) !=
+      meta_bytes_.size()) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw TraceIoError("TraceWriter: cannot write header to " + path_);
+  }
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (const TraceError&) {
+    // Destructors stay silent; drivers that care call close() themselves
+    // (run_replicated_experiment's sink path and the CLI both do).
+  }
+}
+
+void TraceWriter::fail(const std::string& what) {
+  error_ = what;
+  failed_.store(true, std::memory_order_release);
+}
+
+void TraceWriter::writer_loop() {
+  for (;;) {
+    const std::uint8_t* slot = ring_.try_begin_pop();
+    if (slot == nullptr) {
+      if (done_.load(std::memory_order_acquire)) {
+        // Re-check after observing done: the producer publishes its last
+        // record BEFORE setting done, so one more pop attempt sees it.
+        if ((slot = ring_.try_begin_pop()) == nullptr) return;
+      } else {
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    if (!failed_.load(std::memory_order_acquire) &&
+        std::fwrite(slot, 1, record_bytes_, file_) != record_bytes_) {
+      fail("TraceWriter: write failed on " + path_);
+    }
+    ring_.commit_pop();
+  }
+}
+
+void TraceWriter::on_round(const RoundView& view) {
+  if (closed_) {
+    throw TraceIoError("TraceWriter: on_round after close() on " + path_);
+  }
+  if (static_cast<std::int32_t>(view.loads.size()) != k_) {
+    throw TraceError("TraceWriter: round " + std::to_string(view.t) +
+                     " carries " + std::to_string(view.loads.size()) +
+                     " loads, trace has " + std::to_string(k_) + " tasks");
+  }
+  std::uint8_t* slot;
+  while ((slot = ring_.try_begin_push()) == nullptr) {
+    if (failed_.load(std::memory_order_acquire)) {
+      throw TraceIoError(error_);
+    }
+    std::this_thread::yield();
+  }
+  std::uint8_t* p = slot;
+  store_u64(p, static_cast<std::uint64_t>(view.t));
+  store_u64(p + 8, static_cast<std::uint64_t>(view.switches));
+  store_u64(p + 16, static_cast<std::uint64_t>(view.flushes));
+  const std::uint64_t mask = view.active != nullptr
+                                 ? view.active->mask64()
+                                 : (k_ == 64 ? ~0ull : (1ull << k_) - 1);
+  store_u64(p + 24, mask);
+  p += 8 * kTraceRecordPrefixWords;
+  for (std::int32_t j = 0; j < k_; ++j) {
+    store_u64(p, static_cast<std::uint64_t>(
+                     view.loads[static_cast<std::size_t>(j)]));
+    p += 8;
+  }
+  store_u64(p, rng::hash_bytes(reinterpret_cast<const char*>(slot),
+                               record_bytes_ - 8));
+  ring_.commit_push();
+  ++rounds_;
+}
+
+void TraceWriter::close() {
+  if (closed_) {
+    if (failed_.load(std::memory_order_acquire)) throw TraceIoError(error_);
+    return;
+  }
+  closed_ = true;
+  done_.store(true, std::memory_order_release);
+  if (writer_.joinable()) writer_.join();
+
+  // Patch the real round count and the meta checksum over their
+  // placeholders, in the in-memory copy first (the checksum covers the
+  // patched count), then on disk in one header rewrite.
+  store_u64(meta_bytes_.data() + kRoundCountOffset,
+            static_cast<std::uint64_t>(rounds_));
+  store_u64(meta_bytes_.data() + meta_bytes_.size() - 8,
+            rng::hash_bytes(reinterpret_cast<const char*>(meta_bytes_.data()),
+                            meta_bytes_.size() - 8));
+  if (!failed_.load(std::memory_order_acquire)) {
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        std::fwrite(meta_bytes_.data(), 1, meta_bytes_.size(), file_) !=
+            meta_bytes_.size()) {
+      fail("TraceWriter: cannot finalize header of " + path_);
+    }
+  }
+  if (std::fclose(file_) != 0 && !failed_.load(std::memory_order_acquire)) {
+    fail("TraceWriter: close failed on " + path_);
+  }
+  file_ = nullptr;
+  if (failed_.load(std::memory_order_acquire)) throw TraceIoError(error_);
+}
+
+}  // namespace antalloc

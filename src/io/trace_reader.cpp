@@ -1,0 +1,279 @@
+#include "io/trace_reader.h"
+
+#include <cstring>
+
+#include "rng/splitmix.h"
+
+namespace antalloc {
+namespace {
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+double load_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = load_u64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Appends `words` * 8 bytes from the file to `out`; false on short read.
+bool read_words(std::FILE* f, std::size_t words, std::vector<std::uint8_t>& out) {
+  const std::size_t bytes = 8 * words;
+  const std::size_t at = out.size();
+  out.resize(at + bytes);
+  return std::fread(out.data() + at, 1, bytes, f) == bytes;
+}
+
+ActiveSet active_from_mask(std::uint64_t mask, std::int32_t k) {
+  std::vector<std::uint8_t> flags(static_cast<std::size_t>(k), 0);
+  for (std::int32_t j = 0; j < k; ++j) {
+    flags[static_cast<std::size_t>(j)] = (mask >> j) & 1;
+  }
+  return ActiveSet(std::move(flags));
+}
+
+}  // namespace
+
+TraceReader::TraceReader(const std::string& path) : path_(path) {
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw TraceIoError("TraceReader: cannot open " + path_);
+  }
+  // From here on any throw must not leak the handle.
+  try {
+    std::vector<std::uint8_t> meta;
+    if (!read_words(file_, kTraceHeaderWords, meta)) {
+      throw TraceTruncatedError("TraceReader: " + path_ +
+                                " ends mid-header (file shorter than " +
+                                std::to_string(8 * kTraceHeaderWords) +
+                                " bytes)");
+    }
+    const std::uint64_t magic = load_u64(meta.data());
+    if (magic != kTraceMagic) {
+      throw TraceBadMagicError("TraceReader: " + path_ +
+                               " is not a trace file (bad magic)");
+    }
+    const std::uint64_t vk = load_u64(meta.data() + 8);
+    const auto version = static_cast<std::uint32_t>(vk & 0xffffffffull);
+    if (version != kTraceVersion) {
+      throw TraceVersionError(
+          "TraceReader: " + path_ + " is trace format v" +
+          std::to_string(version) + "; this build reads v" +
+          std::to_string(kTraceVersion));
+    }
+    const auto k = static_cast<std::int32_t>(vk >> 32);
+    if (k <= 0 || k > kMaxAgentTasks) {
+      throw TraceChecksumError("TraceReader: " + path_ +
+                               " declares an impossible task count " +
+                               std::to_string(k));
+    }
+    info_.num_tasks = k;
+    info_.n_ants = static_cast<Count>(load_u64(meta.data() + 16));
+    info_.seed = load_u64(meta.data() + 24);
+    info_.config_hash = load_u64(meta.data() + 32);
+    info_.gamma = load_f64(meta.data() + 40);
+    info_.bands.cs = load_f64(meta.data() + 48);
+    info_.bands.cd = load_f64(meta.data() + 56);
+    info_.warmup = static_cast<Round>(load_u64(meta.data() + 64));
+    const std::uint64_t rounds_word = load_u64(meta.data() + 72);
+    if (rounds_word == kUnterminatedRounds) {
+      throw TraceTruncatedError(
+          "TraceReader: " + path_ +
+          " still carries the unterminated-writer sentinel — the writer "
+          "was never closed (crashed or killed mid-run)");
+    }
+    info_.rounds = static_cast<Round>(rounds_word);
+
+    // Segment table. Bound num_segments by the file size before resizing
+    // buffers so a corrupt count cannot drive a huge allocation.
+    if (!read_words(file_, 1, meta)) {
+      throw TraceTruncatedError("TraceReader: " + path_ +
+                                " ends before the segment table");
+    }
+    const std::uint64_t num_segments = load_u64(meta.data() + meta.size() - 8);
+    std::fseek(file_, 0, SEEK_END);
+    const long file_size = std::ftell(file_);
+    std::fseek(file_, static_cast<long>(meta.size()), SEEK_SET);
+    const std::size_t segment_words = 2 + static_cast<std::size_t>(k);
+    if (num_segments == 0 ||
+        num_segments > static_cast<std::uint64_t>(file_size) /
+                           (8 * segment_words)) {
+      throw TraceChecksumError("TraceReader: " + path_ +
+                               " declares an impossible segment count " +
+                               std::to_string(num_segments));
+    }
+    const std::size_t segments_at = meta.size();
+    if (!read_words(file_, num_segments * segment_words, meta)) {
+      throw TraceTruncatedError("TraceReader: " + path_ +
+                                " ends mid-segment-table");
+    }
+
+    // Meta checksum covers every byte read so far.
+    const std::uint64_t computed = rng::hash_bytes(
+        reinterpret_cast<const char*>(meta.data()), meta.size());
+    if (!read_words(file_, 1, meta)) {
+      throw TraceTruncatedError("TraceReader: " + path_ +
+                                " ends before the meta checksum");
+    }
+    const std::uint64_t stored = load_u64(meta.data() + meta.size() - 8);
+    if (stored != computed) {
+      throw TraceChecksumError("TraceReader: " + path_ +
+                               " meta checksum mismatch (header or segment "
+                               "table corrupted)");
+    }
+
+    // Rebuild the schedule. DemandSchedule's own invariants (increasing
+    // starts, zero demand on dormant tasks, at least one active task) are
+    // part of meta validity: a violation is corruption, not a usage error.
+    try {
+      for (std::uint64_t s = 0; s < num_segments; ++s) {
+        const std::uint8_t* seg = meta.data() + segments_at + 8 * s * segment_words;
+        const auto start = static_cast<Round>(load_u64(seg));
+        const std::uint64_t mask = load_u64(seg + 8);
+        std::vector<Count> d(static_cast<std::size_t>(k));
+        for (std::int32_t j = 0; j < k; ++j) {
+          d[static_cast<std::size_t>(j)] =
+              static_cast<Count>(load_u64(seg + 16 + 8 * j));
+        }
+        if (s == 0) {
+          if (start != 0) {
+            throw std::invalid_argument("first segment starts at round " +
+                                        std::to_string(start) + ", not 0");
+          }
+          schedule_ = std::make_unique<DemandSchedule>(
+              DemandVector(std::move(d)), active_from_mask(mask, k));
+        } else {
+          schedule_->add_change(start, DemandVector(std::move(d)),
+                                active_from_mask(mask, k));
+        }
+      }
+    } catch (const std::invalid_argument& e) {
+      throw TraceChecksumError("TraceReader: " + path_ +
+                               " segment table is self-contradictory: " +
+                               e.what());
+    }
+
+    // Records region: the declared round count must match the file size
+    // exactly — shorter is a truncated tail, longer is trailing garbage.
+    record_bytes_ = trace_record_bytes(k);
+    records_offset_ = static_cast<long>(meta.size());
+    const long expected =
+        records_offset_ +
+        static_cast<long>(static_cast<std::uint64_t>(info_.rounds) *
+                          record_bytes_);
+    if (file_size < expected) {
+      throw TraceTruncatedError(
+          "TraceReader: " + path_ + " declares " +
+          std::to_string(info_.rounds) + " rounds (" +
+          std::to_string(expected) + " bytes) but holds only " +
+          std::to_string(file_size) + " bytes");
+    }
+    if (file_size > expected) {
+      throw TraceChecksumError("TraceReader: " + path_ + " holds " +
+                               std::to_string(file_size - expected) +
+                               " trailing bytes beyond the declared records");
+    }
+    record_buf_.resize(record_bytes_);
+    loads_buf_.resize(static_cast<std::size_t>(k), 0);
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw;
+  }
+}
+
+TraceReader::~TraceReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceReader::rewind() {
+  std::fseek(file_, records_offset_, SEEK_SET);
+  next_index_ = 0;
+}
+
+bool TraceReader::next(RoundView& view) {
+  if (next_index_ >= info_.rounds) return false;
+  if (next_index_ == 0) {
+    std::fseek(file_, records_offset_, SEEK_SET);
+  }
+  if (std::fread(record_buf_.data(), 1, record_bytes_, file_) !=
+      record_bytes_) {
+    // The constructor verified the size, so this means the file changed
+    // underneath us.
+    throw TraceTruncatedError("TraceReader: " + path_ +
+                              " shrank while reading record " +
+                              std::to_string(next_index_));
+  }
+  const std::uint64_t stored = load_u64(record_buf_.data() + record_bytes_ - 8);
+  const std::uint64_t computed = rng::hash_bytes(
+      reinterpret_cast<const char*>(record_buf_.data()), record_bytes_ - 8);
+  if (stored != computed) {
+    throw TraceTornRecordError("TraceReader: " + path_ + " record " +
+                               std::to_string(next_index_) +
+                               " fails its checksum (torn or corrupted "
+                               "write)");
+  }
+  const std::uint8_t* p = record_buf_.data();
+  view.t = static_cast<Round>(load_u64(p));
+  view.switches = static_cast<std::int64_t>(load_u64(p + 8));
+  view.flushes = static_cast<std::int64_t>(load_u64(p + 16));
+  const std::uint64_t mask = load_u64(p + 24);
+  p += 8 * kTraceRecordPrefixWords;
+  for (std::int32_t j = 0; j < info_.num_tasks; ++j) {
+    loads_buf_[static_cast<std::size_t>(j)] =
+        static_cast<Count>(load_u64(p + 8 * j));
+  }
+  view.loads = loads_buf_;
+  const std::size_t segment = schedule_->segment_index_at(view.t);
+  view.demands = &schedule_->segment_demands(segment);
+  view.active = &schedule_->segment_active(segment);
+  if (view.active->mask64() != mask) {
+    throw TraceChecksumError(
+        "TraceReader: " + path_ + " record " + std::to_string(next_index_) +
+        " carries active mask " + std::to_string(mask) +
+        " but the segment table says " +
+        std::to_string(view.active->mask64()) + " for round " +
+        std::to_string(view.t));
+  }
+  ++next_index_;
+  return true;
+}
+
+MetricsRecorder::Options TraceReader::recorder_options() const {
+  MetricsRecorder::Options opts;
+  opts.gamma = info_.gamma;
+  opts.bands = info_.bands;
+  opts.warmup = info_.warmup;
+  return opts;
+}
+
+SimResult replay_trace(TraceReader& reader,
+                       const std::vector<std::string>& metric_names) {
+  MetricsRecorder::Options opts = reader.recorder_options();
+  opts.names = metric_names;
+  MetricsRecorder recorder(reader.info().num_tasks, reader.info().n_ants,
+                           opts);
+  reader.rewind();
+  RoundView view;
+  std::vector<Count> last_loads(
+      static_cast<std::size_t>(reader.info().num_tasks), 0);
+  while (reader.next(view)) {
+    recorder.record_round(view);
+    last_loads.assign(view.loads.begin(), view.loads.end());
+  }
+  return recorder.finish(last_loads);
+}
+
+SimResult replay_trace(const std::string& path,
+                       const std::vector<std::string>& metric_names) {
+  TraceReader reader(path);
+  return replay_trace(reader, metric_names);
+}
+
+}  // namespace antalloc

@@ -1,0 +1,97 @@
+// Offline side of the binary trace format (io/trace_log.h): open a trace,
+// validate it, and replay its RoundView stream — either record by record
+// (parity audits compare two readers in lockstep) or straight through a
+// MetricsRecorder (replay_trace), which reproduces the live run's SimResult
+// scalars bit-for-bit because the recorder and every registered Metric are
+// pure functions of the RoundView sequence.
+//
+// Validation discipline: the constructor reads and verifies the whole meta
+// region (magic, version, header/segment consistency, meta checksum, file
+// size vs declared round count) so every way a file can be unusable fails
+// up front with its specific TraceError subtype. The one lazy check is the
+// per-record checksum — a torn record is only detectable when its bytes are
+// read, so next() throws TraceTornRecordError naming the damaged record.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/demand.h"
+#include "core/types.h"
+#include "io/trace_log.h"
+#include "metrics/regret.h"
+
+namespace antalloc {
+
+// Everything the meta region declares about the run, decoded.
+struct TraceInfo {
+  std::int32_t num_tasks = 0;
+  Count n_ants = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t config_hash = 0;
+  double gamma = 0.01;
+  RegretBands bands{};
+  Round warmup = 0;
+  Round rounds = 0;
+};
+
+class TraceReader {
+ public:
+  // Opens and fully validates the meta region; throws the matching
+  // TraceError subtype (see trace_log.h) on any damage.
+  explicit TraceReader(const std::string& path);
+  ~TraceReader();
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  const TraceInfo& info() const { return info_; }
+  const std::string& path() const { return path_; }
+
+  // The demand schedule reconstructed from the segment table — identical
+  // (segment starts, demands, active sets) to the one the live run used.
+  const DemandSchedule& schedule() const { return *schedule_; }
+
+  // Reads the next record and points `view` at reader-owned storage (loads
+  // buffer, schedule segments) valid until the next call. Returns false
+  // after the last record. Throws TraceTornRecordError on a per-record
+  // checksum mismatch.
+  bool next(RoundView& view);
+
+  // Back to the first record.
+  void rewind();
+
+  // Recorder options mirroring the live run's band-shaped settings
+  // (gamma/bands/warmup from the header; metric selection left empty for
+  // the caller).
+  MetricsRecorder::Options recorder_options() const;
+
+ private:
+  std::string path_;
+  TraceInfo info_;
+  std::unique_ptr<DemandSchedule> schedule_;
+  std::FILE* file_ = nullptr;
+  std::size_t record_bytes_ = 0;
+  long records_offset_ = 0;
+  Round next_index_ = 0;
+  std::vector<std::uint8_t> record_buf_;
+  std::vector<Count> loads_buf_;
+};
+
+// Replays every record through a fresh MetricsRecorder carrying the trace's
+// own gamma/bands/warmup plus the given metric selection (empty = registry
+// default). The returned SimResult's totals, bands, violation count, switch
+// total and metric scalars are bit-equal to the live run that wrote the
+// trace; final_loads are the last record's loads (a zero-round trace yields
+// zero loads, where a live zero-round run reports its initial allocation).
+SimResult replay_trace(TraceReader& reader,
+                       const std::vector<std::string>& metric_names = {});
+
+// Convenience: open + replay in one call.
+SimResult replay_trace(const std::string& path,
+                       const std::vector<std::string>& metric_names = {});
+
+}  // namespace antalloc

@@ -12,6 +12,8 @@ namespace antalloc {
 
 Metric::~Metric() = default;
 
+RoundSink::~RoundSink() = default;
+
 namespace {
 
 // Every built-in replicates the exact accumulation order of the statistic it

@@ -61,6 +61,11 @@ struct RoundView {
   // Ant-assignment changes applied during round t, including the lifecycle
   // flush at a segment boundary (engines that do not track switches emit 0).
   std::int64_t switches = 0;
+  // The lifecycle-flush share of `switches`: workers retired off dying
+  // tasks at this round's segment boundary (0 on non-boundary rounds and
+  // for drivers that do not track the split). Trace records persist it so
+  // replay can distinguish flush events from ordinary churn.
+  std::int64_t flushes = 0;
 
   bool task_active(TaskId j) const { return active == nullptr || (*active)[j]; }
 };
@@ -89,6 +94,24 @@ class Metric {
   // order. Called once, after the last round.
   virtual void finish(std::vector<std::string>& names,
                       std::vector<double>& values) = 0;
+};
+
+// A raw per-round tap: like Metric but with no scalar contract — sinks see
+// every RoundView the recorder sees and do something external with it
+// (write a binary trace record, feed a network subscriber). The recorder
+// does NOT own its sink (MetricsRecorder::Options::sink is a borrowed
+// pointer); the driver that created the sink calls close() after the run to
+// surface deferred I/O errors — destructors alone must stay silent.
+class RoundSink {
+ public:
+  virtual ~RoundSink();
+
+  virtual void on_round(const RoundView& view) = 0;
+
+  // Flushes and finalizes whatever the sink streams to; called once after
+  // the last round. Implementations throw here (never from the destructor)
+  // on deferred errors.
+  virtual void close() {}
 };
 
 // One scalar a metric emits, plus how campaign tables render its replicate

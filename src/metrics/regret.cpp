@@ -92,6 +92,7 @@ void MetricsRecorder::record_round(const RoundView& view) {
   result_.trace.record(t, deficit_buf_, r);
 
   for (const auto& observer : observers_) observer->on_round(view);
+  if (opts_.sink != nullptr) opts_.sink->on_round(view);
 }
 
 void MetricsRecorder::record_round(Round t, std::span<const Count> loads,

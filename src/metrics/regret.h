@@ -93,6 +93,13 @@ class MetricsRecorder {
     // empty = default_metric_names(). Unknown or duplicate names throw
     // std::invalid_argument at recorder construction.
     std::vector<std::string> names;
+    // Borrowed per-round tap (metrics/metric.h): the recorder forwards every
+    // RoundView to it after the observers. Non-owning — the driver that set
+    // it must keep it alive through finish() and call its close(). This is
+    // how the binary trace logger (io/trace_log.h) rides the engines'
+    // emission without the engines knowing about files or threads. Never
+    // enters campaign_config_hash (a tap must not change any number).
+    RoundSink* sink = nullptr;
   };
 
   MetricsRecorder(std::int32_t num_tasks, Count n_ants, Options opts);

@@ -1,0 +1,87 @@
+// Lock-free single-producer/single-consumer ring of fixed-size byte slots.
+//
+// The trace logger's hot path (io/trace_log.h) serializes one fixed-size
+// record per simulation round and must hand it to a writer thread without
+// taking a lock or allocating: the producer claims a slot, fills it in
+// place, and publishes it with one release store; the consumer drains
+// published slots and retires them with one release store of its own. The
+// slot size is a runtime parameter (trace records are 8*(5+k) bytes for a
+// k-task colony), which is why this is a byte ring rather than a SpscRing<T>
+// template — the same structure serves any fixed-size-record stream (the
+// ROADMAP's job-feed daemon is the next intended user).
+//
+// Contract: exactly one producer thread may call try_begin_push/commit_push
+// and exactly one consumer thread may call try_begin_pop/commit_pop. Either
+// side may poll its try_* call freely; a nullptr return means full/empty,
+// never an error. Capacity is rounded up to a power of two so index
+// wrapping is a mask.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace antalloc {
+
+class SpscByteRing {
+ public:
+  SpscByteRing(std::size_t slot_size, std::size_t min_capacity)
+      : slot_size_(slot_size), capacity_(round_up_pow2(min_capacity)) {
+    buf_.resize(slot_size_ * capacity_);
+  }
+
+  std::size_t slot_size() const { return slot_size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  // Producer side. ----------------------------------------------------------
+
+  // Claims the next free slot for writing; nullptr when the ring is full.
+  // The slot stays private to the producer until commit_push.
+  std::uint8_t* try_begin_push() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) >= capacity_) {
+      return nullptr;
+    }
+    return buf_.data() + (head & (capacity_ - 1)) * slot_size_;
+  }
+
+  // Publishes the slot returned by the last try_begin_push.
+  void commit_push() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  // Consumer side. ----------------------------------------------------------
+
+  // The oldest published slot; nullptr when the ring is empty. The slot
+  // stays valid until commit_pop.
+  const std::uint8_t* try_begin_pop() {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return nullptr;
+    return buf_.data() + (tail & (capacity_ - 1)) * slot_size_;
+  }
+
+  // Retires the slot returned by the last try_begin_pop.
+  void commit_pop() {
+    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::size_t slot_size_;
+  std::size_t capacity_;
+  std::vector<std::uint8_t> buf_;
+  // Head and tail on separate cache lines so the producer's store never
+  // invalidates the consumer's line (and vice versa).
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace antalloc

@@ -1,9 +1,13 @@
 #include "sim/campaign.h"
 
 #include <bit>
+#include <filesystem>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "io/trace_log.h"
+#include "io/trace_reader.h"
 #include "rng/splitmix.h"
 
 namespace antalloc {
@@ -125,6 +129,14 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   out.cells.reserve(
       shard_cell_indices(campaign_total_cells(cfg), cfg.shard).size());
 
+  // One provenance stamp for every trace this campaign writes; computed
+  // once, outside the cell loop (the hash walks every schedule).
+  std::uint64_t trace_hash = 0;
+  if (!cfg.trace_dir.empty()) {
+    std::filesystem::create_directories(cfg.trace_dir);
+    trace_hash = campaign_config_hash(cfg);
+  }
+
   for (std::size_t si = 0; si < cfg.scenarios.size(); ++si) {
     const Scenario& scenario = cfg.scenarios[si];
     for (std::size_t ai = 0; ai < cfg.algos.size(); ++ai) {
@@ -165,8 +177,36 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         }
         ecfg.engine = cell.engine;
 
-        auto results = run_replicated_experiment(
-            ecfg, noise.make, scenario.schedule, cfg.replicates, cfg.pool);
+        // With trace_dir set, every replicate gets its own TraceWriter on
+        // the recorder's sink tap. The header carries the RESOLVED recorder
+        // options (gamma falls back to this cell's algorithm learning rate
+        // inside run_experiment), so a replay reconstructs the recorder the
+        // replicate actually ran.
+        SinkFactory make_sink;
+        if (!cfg.trace_dir.empty()) {
+          const MetricsRecorder::Options resolved = resolved_metrics(ecfg);
+          TraceMeta meta{.n_ants = cfg.n_ants,
+                         .config_hash = trace_hash,
+                         .gamma = resolved.gamma,
+                         .bands = resolved.bands,
+                         .warmup = resolved.warmup};
+          const DemandSchedule* schedule = &scenario.schedule;
+          make_sink = [&cfg, meta, schedule, flat](
+                          std::int64_t trial,
+                          std::uint64_t seed) -> std::unique_ptr<RoundSink> {
+            TraceMeta m = meta;
+            m.seed = seed;
+            return std::make_unique<TraceWriter>(
+                (std::filesystem::path(cfg.trace_dir) /
+                 trace_file_name(flat, trial))
+                    .string(),
+                *schedule, m);
+          };
+        }
+
+        auto results =
+            run_replicated_experiment(ecfg, noise.make, scenario.schedule,
+                                      cfg.replicates, cfg.pool, make_sink);
 
         // One RunningStats per selected scalar, fed from each replicate's
         // metric map in replicate order (the order every shard reproduces,
@@ -207,10 +247,27 @@ std::vector<std::size_t> shard_cell_indices(std::size_t total_cells,
   return indices;
 }
 
+std::vector<SimResult> replay_cell_results(
+    const std::string& trace_dir, std::size_t flat_index,
+    std::int64_t replicates, const std::vector<std::string>& metrics) {
+  const std::vector<std::string> names = resolve_metric_names(metrics);
+  std::vector<SimResult> out;
+  out.reserve(static_cast<std::size_t>(replicates));
+  for (std::int64_t r = 0; r < replicates; ++r) {
+    out.push_back(replay_trace(
+        (std::filesystem::path(trace_dir) / trace_file_name(flat_index, r))
+            .string(),
+        names));
+  }
+  return out;
+}
+
 std::uint64_t campaign_config_hash(const CampaignConfig& cfg) {
   // v2: the resolved metric selection entered the fingerprint (PR 5), so
   // shards computed with different metric sets — different columns — can
   // never merge, and pre-redesign shards are rejected wholesale.
+  // trace_dir, like the shard spec and pool, stays OUT of the hash: where a
+  // campaign's traces land must not change any number it computes.
   std::uint64_t h = rng::hash_string("antalloc-campaign-v2");
 
   h = mix_u64(h, cfg.scenarios.size());

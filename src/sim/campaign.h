@@ -72,9 +72,23 @@ struct CampaignConfig {
   // campaign_config_hash, so shards with different metric selections refuse
   // to merge (and an explicit default list hashes like an empty one).
   MetricsRecorder::Options metrics{};
-  // Keep the full per-replicate SimResults in each cell (distribution
-  // comparisons, traces). Off: cells carry summary statistics only.
+  // DEPRECATED compatibility shim — prefer trace_dir. Keeps the full
+  // per-replicate SimResults in memory in each cell. Every distribution-
+  // level consumer (the shard results.csv, parity audits) now reads
+  // per-replicate data back from binary traces instead, which costs O(1)
+  // memory per replicate during the run and lets metrics be re-selected
+  // after the fact; this switch remains only for bespoke in-process callers
+  // that want SimResult objects without a disk round-trip.
   bool keep_results = false;
+  // When non-empty: persist every replicate's per-round stream as a binary
+  // trace (io/trace_log.h) named trace_file_name(flat_index, replicate)
+  // under this directory (created if missing), stamped with this campaign's
+  // campaign_config_hash. write_campaign_shard then produces the
+  // per-replicate results.csv by REPLAYING these traces — bit-equal to the
+  // live run's results — so keep_results is no longer needed for it.
+  // Excluded from campaign_config_hash, like the shard spec and pool: a
+  // trace tap must not change any number.
+  std::string trace_dir;
   // Common random numbers across the noise axis: cells differing only in
   // noise reuse the same per-replicate seeds, so noise sweeps (rho, the
   // adversary gallery) become paired comparisons with reduced variance.
@@ -172,6 +186,16 @@ std::vector<std::size_t> shard_cell_indices(std::size_t total_cells,
 // hashed; the noise NAME stands in for it, so give distinct noise configs
 // distinct names). Two shard files merge only if their hashes agree.
 std::uint64_t campaign_config_hash(const CampaignConfig& cfg);
+
+// Replays cell `flat_index`'s per-replicate traces (written by a
+// run_campaign with trace_dir set) back into SimResults, metric scalars
+// bit-equal to the live run's. `metrics` is the selection to re-drive
+// (empty = registry default) — it may differ from the one the campaign ran,
+// which is the point: traces let you measure after the fact. Throws the
+// TraceError subtypes from io/trace_log.h on missing or damaged files.
+std::vector<SimResult> replay_cell_results(
+    const std::string& trace_dir, std::size_t flat_index,
+    std::int64_t replicates, const std::vector<std::string>& metrics = {});
 
 // Reassembles the full matrix from per-shard results (cells carry their
 // flat_index). Requires the union of cell indices to be exactly

@@ -61,15 +61,19 @@ Engine resolve_engine(Engine engine, const AlgoConfig& algo,
                                                    : Engine::kAgent;
 }
 
-SimResult run_experiment(const ExperimentConfig& cfg, FeedbackModel& fm,
-                         const DemandSchedule& schedule) {
-  const std::int32_t k = schedule.num_tasks();
-  const auto loads = initial_loads(cfg, k);
-
+MetricsRecorder::Options resolved_metrics(const ExperimentConfig& cfg) {
   // Keep the regret-band gamma in sync with the algorithm's learning rate
   // unless the caller overrode it explicitly.
   MetricsRecorder::Options metrics = cfg.metrics;
   if (metrics.gamma <= 0.0) metrics.gamma = cfg.algo.gamma;
+  return metrics;
+}
+
+SimResult run_experiment(const ExperimentConfig& cfg, FeedbackModel& fm,
+                         const DemandSchedule& schedule) {
+  const std::int32_t k = schedule.num_tasks();
+  const auto loads = initial_loads(cfg, k);
+  const MetricsRecorder::Options metrics = resolved_metrics(cfg);
 
   switch (resolve_engine(cfg.engine, cfg.algo, fm)) {
     case Engine::kAggregate: {
@@ -96,18 +100,24 @@ SimResult run_experiment(const ExperimentConfig& cfg, FeedbackModel& fm,
   throw std::logic_error("run_experiment: unresolved engine");
 }
 
-std::vector<SimResult> run_replicated_experiment(const ExperimentConfig& cfg,
-                                                 const ModelFactory& make_model,
-                                                 const DemandSchedule& schedule,
-                                                 std::int64_t replicates,
-                                                 ThreadPool* pool) {
+std::vector<SimResult> run_replicated_experiment(
+    const ExperimentConfig& cfg, const ModelFactory& make_model,
+    const DemandSchedule& schedule, std::int64_t replicates, ThreadPool* pool,
+    const SinkFactory& make_sink) {
   return run_sim_trials(
       replicates, cfg.seed,
-      [&](std::int64_t /*trial*/, std::uint64_t seed) {
+      [&](std::int64_t trial, std::uint64_t seed) {
         ExperimentConfig trial_cfg = cfg;
         trial_cfg.seed = seed;
         auto model = make_model();
-        return run_experiment(trial_cfg, *model, schedule);
+        std::unique_ptr<RoundSink> sink =
+            make_sink ? make_sink(trial, seed) : nullptr;
+        trial_cfg.metrics.sink = sink.get();
+        SimResult result = run_experiment(trial_cfg, *model, schedule);
+        // Close here, not in the destructor: deferred writer-thread I/O
+        // errors must surface as exceptions out of the trial, not vanish.
+        if (sink) sink->close();
+        return result;
       },
       pool);
 }

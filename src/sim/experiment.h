@@ -62,18 +62,33 @@ struct ExperimentConfig {
 Engine resolve_engine(Engine engine, const AlgoConfig& algo,
                       const FeedbackModel& fm);
 
+// The recorder options run_experiment actually uses: cfg.metrics with gamma
+// resolved to the algorithm's learning rate when unset (<= 0). Trace
+// writers (io/trace_log.h) stamp THIS gamma into headers, so replay
+// reconstructs the recorder the live run had, not the unresolved config.
+MetricsRecorder::Options resolved_metrics(const ExperimentConfig& cfg);
+
 // Runs a single trial.
 SimResult run_experiment(const ExperimentConfig& cfg, FeedbackModel& fm,
                          const DemandSchedule& schedule);
 
+// Builds a per-trial RoundSink (metrics/metric.h) — the hook campaigns use
+// to attach one binary trace writer per replicate. Called with the trial
+// index and the trial's derived seed; may return nullptr for "no sink on
+// this trial". The runner wires the sink into the trial's recorder and
+// calls close() after the run (so deferred I/O errors propagate out of
+// run_replicated_experiment instead of dying in a destructor).
+using SinkFactory =
+    std::function<std::unique_ptr<RoundSink>(std::int64_t trial,
+                                             std::uint64_t seed)>;
+
 // Runs `replicates` independent trials in parallel (deterministic per-trial
 // seeds derived from cfg.seed, independent of thread count). `pool` selects
 // the thread pool; nullptr uses the process-global one.
-std::vector<SimResult> run_replicated_experiment(const ExperimentConfig& cfg,
-                                                 const ModelFactory& make_model,
-                                                 const DemandSchedule& schedule,
-                                                 std::int64_t replicates,
-                                                 ThreadPool* pool = nullptr);
+std::vector<SimResult> run_replicated_experiment(
+    const ExperimentConfig& cfg, const ModelFactory& make_model,
+    const DemandSchedule& schedule, std::int64_t replicates,
+    ThreadPool* pool = nullptr, const SinkFactory& make_sink = {});
 
 // Pulls the named scalar from each replicate's metric map (SimResult). For
 // the historical scalars ("regret", "violations", "switches_per_ant_round")

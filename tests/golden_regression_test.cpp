@@ -5,11 +5,19 @@
 // commit as the behaviour change.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "aggregate/aggregate_sim.h"
 #include "agent/agent_sim.h"
 #include "algo/registry.h"
+#include "io/trace_reader.h"
+#include "metrics/metric.h"
 #include "noise/sigmoid.h"
 #include "rng/xoshiro.h"
+
+#ifndef ANTALLOC_TEST_DATA_DIR
+#define ANTALLOC_TEST_DATA_DIR "tests/data"
+#endif
 
 namespace antalloc {
 namespace {
@@ -79,6 +87,65 @@ TEST_F(GoldenLoads, AntAggregateSnapshot) {
   EXPECT_LE(res.final_loads[0], 350);
   EXPECT_GE(res.final_loads[1], 160);
   EXPECT_LE(res.final_loads[1], 240);
+}
+
+// Replay determinism golden: a committed trace fixture re-driven through
+// the FULL metric registry must reproduce these scalars bit-for-bit on any
+// machine — the replay path has no RNG, no engine, no platform-dependent
+// distribution; it is a pure fold over committed bytes. A failure here
+// means either the trace format's decoding or a Metric's fold changed.
+//
+// The fixture was produced by (regenerate + re-pin in the same commit if a
+// metric's definition intentionally changes):
+//
+//   ./build/examples/antalloc_cli --algo=ant --engine=agent --noise=sigmoid \
+//     --lambda=0.7 --n=2000 --k=2 --demand=300 --rounds=3000 --gamma=0.05 \
+//     --seed=20260612 --plot=false \
+//     --trace-out=tests/data/golden_ant_agent.trace
+TEST_F(GoldenLoads, ReplayOfCommittedFixtureReproducesScalars) {
+  const std::string path =
+      std::string(ANTALLOC_TEST_DATA_DIR) + "/golden_ant_agent.trace";
+  TraceReader reader(path);
+  EXPECT_EQ(reader.info().rounds, 3000);
+  EXPECT_EQ(reader.info().num_tasks, 2);
+  EXPECT_EQ(reader.info().n_ants, 2000);
+  EXPECT_EQ(reader.info().seed, 20260612ull);
+  EXPECT_EQ(reader.info().config_hash, 0ull);  // ad-hoc (non-campaign) trace
+  EXPECT_EQ(reader.info().gamma, 0.05);
+  EXPECT_EQ(reader.info().warmup, 1500);
+
+  const SimResult res = replay_trace(reader, metric_names());
+
+  // Legacy always-on fields.
+  EXPECT_EQ(res.final_loads, (std::vector<Count>{322, 323}));
+  EXPECT_EQ(res.total_regret, 543486.0);
+  EXPECT_EQ(res.regret_plus, 388094.59999999031);
+  EXPECT_EQ(res.regret_near, 154907.80000000045);
+  EXPECT_EQ(res.regret_minus, 483.60000000000002);
+  EXPECT_EQ(res.post_warmup_rounds, 1500);
+  EXPECT_EQ(res.post_warmup_regret, 58778.0);
+  EXPECT_EQ(res.violation_rounds, 747);
+  EXPECT_EQ(res.switches, 294369);
+
+  // Every registered metric scalar, exact.
+  const std::pair<const char*, double> pinned[] = {
+      {"regret", 39.185333333333332},
+      {"violations", 747.0},
+      {"switches_per_ant_round", 0.049061500000000001},
+      {"regret_plus", 388094.59999999031},
+      {"regret_near", 154907.80000000045},
+      {"regret_minus", 483.60000000000002},
+      {"closeness", 1.3061777777777783},
+      {"convergence_round", 695.0},
+      {"last_violation", 790.0},
+      {"band_occupancy", 0.97701647875108411},
+      {"osc_crossing_rate", 0.70990330110036681},
+      {"osc_max_abs_deficit", 730.0},
+      {"osc_mean_abs_deficit", 90.581000000000003},
+  };
+  for (const auto& [name, value] : pinned) {
+    EXPECT_EQ(res.metric(name), value) << name;
+  }
 }
 
 TEST_F(GoldenLoads, AntAgentSnapshot) {

@@ -1,0 +1,296 @@
+// Binary-trace round-trip battery: whatever RoundView stream an engine
+// emits, writing it through TraceWriter and reading it back through
+// TraceReader must reproduce every record field bit-for-bit — across the
+// whole scenario registry (lifecycle families included), both engines, and
+// the degenerate shapes (empty trace, single round, the full k=64 active
+// mask). On top of the record-level identity, replaying a trace through the
+// metric registry must reproduce the live run's SimResult scalars exactly
+// (EXPECT_EQ, not tolerance): the recorder and every Metric are pure
+// functions of the RoundView sequence, and this battery is what pins that.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/trace_log.h"
+#include "io/trace_reader.h"
+#include "noise/sigmoid.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+
+namespace antalloc {
+namespace {
+
+// One RoundView copied out of the live stream (views borrow engine buffers,
+// so the tee must deep-copy before the engine reuses them).
+struct CapturedRound {
+  Round t = 0;
+  std::vector<Count> loads;
+  std::vector<Count> demands;
+  std::uint64_t mask = 0;
+  std::int64_t switches = 0;
+  std::int64_t flushes = 0;
+};
+
+// Captures the live stream AND forwards it to a TraceWriter, so one run
+// yields both sides of the comparison.
+class TeeSink final : public RoundSink {
+ public:
+  TeeSink(TraceWriter* writer, std::vector<CapturedRound>* out)
+      : writer_(writer), out_(out) {}
+
+  void on_round(const RoundView& view) override {
+    CapturedRound c;
+    c.t = view.t;
+    c.loads.assign(view.loads.begin(), view.loads.end());
+    const auto d = view.demands->values();
+    c.demands.assign(d.begin(), d.end());
+    c.mask = view.active != nullptr
+                 ? view.active->mask64()
+                 : ActiveSet::all(static_cast<std::int32_t>(view.loads.size()))
+                       .mask64();
+    c.switches = view.switches;
+    c.flushes = view.flushes;
+    out_->push_back(std::move(c));
+    writer_->on_round(view);
+  }
+
+  void close() override { writer_->close(); }
+
+ private:
+  TraceWriter* writer_;
+  std::vector<CapturedRound>* out_;
+};
+
+std::string temp_trace(const std::string& tag) {
+  return ::testing::TempDir() + "antalloc_" + tag + ".trace";
+}
+
+constexpr double kGamma = 0.05;
+
+ExperimentConfig base_config(Engine engine, Count n_ants, Round rounds) {
+  ExperimentConfig cfg;
+  cfg.algo = AlgoConfig{.name = "ant", .gamma = kGamma, .epsilon = 0.5};
+  cfg.engine = engine;
+  cfg.n_ants = n_ants;
+  cfg.rounds = rounds;
+  cfg.seed = 99;
+  cfg.metrics = {.gamma = kGamma, .warmup = rounds / 2};
+  return cfg;
+}
+
+TraceMeta meta_for(const ExperimentConfig& cfg) {
+  const MetricsRecorder::Options resolved = resolved_metrics(cfg);
+  return TraceMeta{.n_ants = cfg.n_ants,
+                   .seed = cfg.seed,
+                   .config_hash = 0xD15C0ull,
+                   .gamma = resolved.gamma,
+                   .bands = resolved.bands,
+                   .warmup = resolved.warmup};
+}
+
+// Runs cfg live with a tee into `path`; returns the captured stream and the
+// live result through the out-params.
+SimResult run_teed(ExperimentConfig cfg, const DemandSchedule& schedule,
+                   const std::string& path,
+                   std::vector<CapturedRound>* captured) {
+  TraceWriter writer(path, schedule, meta_for(cfg));
+  TeeSink tee(&writer, captured);
+  cfg.metrics.sink = &tee;
+  SigmoidFeedback fm(0.5);
+  SimResult res = run_experiment(cfg, fm, schedule);
+  tee.close();
+  return res;
+}
+
+void expect_schedule_equal(const DemandSchedule& a, const DemandSchedule& b) {
+  ASSERT_EQ(a.num_segments(), b.num_segments());
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (std::size_t s = 0; s < a.num_segments(); ++s) {
+    EXPECT_EQ(a.segment_start(s), b.segment_start(s));
+    EXPECT_EQ(a.segment_active(s).mask64(), b.segment_active(s).mask64());
+    const auto da = a.segment_demands(s).values();
+    const auto db = b.segment_demands(s).values();
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t j = 0; j < da.size(); ++j) EXPECT_EQ(da[j], db[j]);
+  }
+}
+
+void expect_records_match(TraceReader& reader,
+                          const std::vector<CapturedRound>& captured) {
+  reader.rewind();
+  RoundView view;
+  std::size_t i = 0;
+  while (reader.next(view)) {
+    ASSERT_LT(i, captured.size());
+    const CapturedRound& c = captured[i];
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(view.t, c.t);
+    EXPECT_EQ(std::vector<Count>(view.loads.begin(), view.loads.end()),
+              c.loads);
+    const auto d = view.demands->values();
+    EXPECT_EQ(std::vector<Count>(d.begin(), d.end()), c.demands);
+    ASSERT_NE(view.active, nullptr);
+    EXPECT_EQ(view.active->mask64(), c.mask);
+    EXPECT_EQ(view.switches, c.switches);
+    EXPECT_EQ(view.flushes, c.flushes);
+    ++i;
+  }
+  EXPECT_EQ(i, captured.size());
+}
+
+// The core property: every scenario family x both engines, every record
+// field bit-for-bit.
+TEST(TraceRoundTrip, EveryScenarioFamilyBothEngines) {
+  const DemandVector base({Count{80}, Count{60}});
+  constexpr Round kRounds = 60;
+  constexpr Count kAnts = 800;
+
+  const auto scenarios = registry_scenarios(base, kRounds, /*seed=*/5);
+  ASSERT_EQ(scenarios.size(), scenario_names().size())
+      << "registry_scenarios no longer covers every family";
+
+  for (const auto& scenario : scenarios) {
+    for (const Engine engine : {Engine::kAgent, Engine::kAggregate}) {
+      SCOPED_TRACE(scenario.name + " / " + std::string(to_string(engine)));
+      ExperimentConfig cfg = base_config(engine, kAnts, kRounds);
+      cfg.initial = scenario.initial;
+      cfg.initial_loads = scenario.initial_loads;
+
+      const std::string path = temp_trace("rt");
+      std::vector<CapturedRound> captured;
+      run_teed(cfg, scenario.schedule, path, &captured);
+      ASSERT_EQ(captured.size(), static_cast<std::size_t>(kRounds));
+
+      TraceReader reader(path);
+      EXPECT_EQ(reader.info().rounds, kRounds);
+      EXPECT_EQ(reader.info().num_tasks, scenario.schedule.num_tasks());
+      EXPECT_EQ(reader.info().n_ants, kAnts);
+      EXPECT_EQ(reader.info().seed, cfg.seed);
+      EXPECT_EQ(reader.info().config_hash, 0xD15C0ull);
+      EXPECT_EQ(reader.info().gamma, kGamma);
+      EXPECT_EQ(reader.info().warmup, kRounds / 2);
+      expect_schedule_equal(reader.schedule(), scenario.schedule);
+      expect_records_match(reader, captured);
+      std::remove(path.c_str());
+    }
+  }
+}
+
+// Replay through the FULL metric registry reproduces the live scalars
+// exactly — the acceptance criterion of the trace subsystem. Covers a
+// lifecycle scenario on both engines so flush records are exercised too.
+TEST(TraceRoundTrip, ReplayScalarsBitEqualToLiveRun) {
+  const DemandVector base({Count{80}, Count{60}});
+  constexpr Round kRounds = 120;
+  const auto all_metrics = metric_names();
+
+  for (const std::string family : {"constant", "task-churn"}) {
+    const Scenario scenario =
+        make_scenario(ScenarioSpec{.name = family, .seed = 7}, base, kRounds);
+    for (const Engine engine : {Engine::kAgent, Engine::kAggregate}) {
+      SCOPED_TRACE(family + " / " + std::string(to_string(engine)));
+      ExperimentConfig cfg = base_config(engine, 800, kRounds);
+      cfg.initial = scenario.initial;
+      cfg.initial_loads = scenario.initial_loads;
+      cfg.metrics.names = all_metrics;
+
+      const std::string path = temp_trace("replay");
+      std::vector<CapturedRound> captured;
+      const SimResult live = run_teed(cfg, scenario.schedule, path, &captured);
+
+      const SimResult replayed = replay_trace(path, all_metrics);
+      // Legacy always-on fields, bit-for-bit.
+      EXPECT_EQ(replayed.rounds, live.rounds);
+      EXPECT_EQ(replayed.n_ants, live.n_ants);
+      EXPECT_EQ(replayed.total_regret, live.total_regret);
+      EXPECT_EQ(replayed.regret_plus, live.regret_plus);
+      EXPECT_EQ(replayed.regret_near, live.regret_near);
+      EXPECT_EQ(replayed.regret_minus, live.regret_minus);
+      EXPECT_EQ(replayed.post_warmup_rounds, live.post_warmup_rounds);
+      EXPECT_EQ(replayed.post_warmup_regret, live.post_warmup_regret);
+      EXPECT_EQ(replayed.violation_rounds, live.violation_rounds);
+      EXPECT_EQ(replayed.switches, live.switches);
+      EXPECT_EQ(replayed.final_loads, live.final_loads);
+      // Every registered metric's scalars, bit-for-bit.
+      ASSERT_EQ(replayed.metric_names, live.metric_names);
+      for (std::size_t i = 0; i < live.metric_values.size(); ++i) {
+        EXPECT_EQ(replayed.metric_values[i], live.metric_values[i])
+            << "scalar " << live.metric_names[i];
+      }
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(TraceRoundTrip, EmptyTrace) {
+  const DemandVector demands({Count{10}, Count{10}});
+  const DemandSchedule schedule(demands);
+  const std::string path = temp_trace("empty");
+  {
+    TraceWriter writer(path, schedule,
+                       TraceMeta{.n_ants = 100, .seed = 3, .gamma = 0.05});
+    writer.close();
+    EXPECT_EQ(writer.rounds_written(), 0);
+  }
+  TraceReader reader(path);
+  EXPECT_EQ(reader.info().rounds, 0);
+  RoundView view;
+  EXPECT_FALSE(reader.next(view));
+  const SimResult res = replay_trace(reader);
+  EXPECT_EQ(res.rounds, 0);
+  EXPECT_EQ(res.total_regret, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRoundTrip, SingleRoundTrace) {
+  const DemandVector base({Count{40}, Count{30}});
+  const DemandSchedule schedule(base);
+  ExperimentConfig cfg = base_config(Engine::kAgent, 400, 1);
+  const std::string path = temp_trace("single");
+  std::vector<CapturedRound> captured;
+  run_teed(cfg, schedule, path, &captured);
+  ASSERT_EQ(captured.size(), 1u);
+  TraceReader reader(path);
+  EXPECT_EQ(reader.info().rounds, 1);
+  expect_records_match(reader, captured);
+  std::remove(path.c_str());
+}
+
+// k at the format's capacity: 64 tasks = every bit of the active-mask word.
+TEST(TraceRoundTrip, KMaxCapacityActiveSet) {
+  constexpr std::int32_t k = kMaxAgentTasks;
+  const DemandVector demands(uniform_demands(k, 3));
+  const DemandSchedule schedule(demands);
+  ExperimentConfig cfg = base_config(Engine::kAgent, 600, 5);
+
+  const std::string path = temp_trace("kmax");
+  std::vector<CapturedRound> captured;
+  run_teed(cfg, schedule, path, &captured);
+  ASSERT_EQ(captured.size(), 5u);
+  for (const CapturedRound& c : captured) {
+    EXPECT_EQ(c.mask, ~0ull);  // all 64 tasks active
+    EXPECT_EQ(c.loads.size(), static_cast<std::size_t>(k));
+  }
+  TraceReader reader(path);
+  EXPECT_EQ(reader.info().num_tasks, k);
+  expect_records_match(reader, captured);
+  std::remove(path.c_str());
+}
+
+// The format refuses what it cannot represent: a 65-task schedule has no
+// one-word active mask (ActiveSet::mask64 itself throws at k > 64, so the
+// guard sits in the writer's constructor argument validation).
+TEST(TraceRoundTrip, WriterRequiresTasksWithinMask) {
+  const DemandSchedule schedule(uniform_demands(4, 5));
+  // In-range k constructs fine.
+  const std::string path = temp_trace("guard");
+  TraceWriter ok(path, schedule, TraceMeta{.n_ants = 10});
+  ok.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace antalloc
