@@ -16,10 +16,12 @@
 #include "aggregate/aggregate_sim.h"
 #include "agent/agent_sim.h"
 #include "algo/ant.h"
+#include "algo/batched.h"
 #include "common.h"
 #include "algo/precise_sigmoid.h"
 #include "noise/sigmoid.h"
 #include "rng/binomial.h"
+#include "rng/bulk_sampler.h"
 #include "rng/poisson_binomial.h"
 #include "rng/xoshiro.h"
 
@@ -32,6 +34,7 @@ void BM_BinomialSmallMean(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(rng::binomial(gen, 1 << 20, 1e-5));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BinomialSmallMean);
 
@@ -40,6 +43,7 @@ void BM_BinomialLargeMean(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(rng::binomial(gen, 1 << 20, 0.3));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BinomialLargeMean);
 
@@ -48,8 +52,85 @@ void BM_PoissonBinomialPmf(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(rng::poisson_binomial_pmf(p));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PoissonBinomialPmf)->Arg(8)->Arg(64)->Arg(256);
+
+// One round's worth of count-stream draws: what the batched path pays where
+// the per-ant path pays n re-seeded generators.
+void BM_BulkBinomialRound(benchmark::State& state) {
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  const Count per_task = (Count{1} << 17) / k;
+  rng::BulkSampler sampler(1, 2);
+  for (auto _ : state) {
+    std::int64_t total = 0;
+    for (std::int32_t j = 0; j < k; ++j) {
+      total += sampler.binomial(per_task, 0.02);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_BulkBinomialRound)->Arg(4)->Arg(32);
+
+// The legacy per-ant hot loop in isolation: one full-width lack-mask draw
+// per ant (hash re-seed + k Bernoulli draws).
+void BM_LackMaskLoop(benchmark::State& state) {
+  const auto n = static_cast<Count>(state.range(0));
+  const std::int32_t k = 4;
+  SigmoidFeedback fm(0.05);
+  const std::vector<double> deficits(static_cast<std::size_t>(k), 5.0);
+  const std::vector<Count> demand_counts(static_cast<std::size_t>(k),
+                                         Count{64});
+  Round t = 1;
+  for (auto _ : state) {
+    const FeedbackAccess fb(fm, t, deficits, demand_counts, 3);
+    std::uint64_t acc = 0;
+    for (Count i = 0; i < n; ++i) acc ^= fb.sample_lack_mask(i);
+    benchmark::DoNotOptimize(acc);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LackMaskLoop)->Arg(1 << 14);
+
+// The engine's fused loads+switches diff over a double-buffered assignment
+// pair (what replaced the per-round recount-from-zero).
+void BM_SwitchRecount(benchmark::State& state) {
+  const auto n = static_cast<Count>(state.range(0));
+  const std::int32_t k = 4;
+  std::vector<TaskId> prev(static_cast<std::size_t>(n));
+  std::vector<TaskId> next(static_cast<std::size_t>(n));
+  rng::Xoshiro256 gen(9);
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    prev[i] = static_cast<TaskId>(
+                  gen.uniform_below(static_cast<std::uint64_t>(k) + 1)) -
+              1;
+    next[i] = static_cast<TaskId>(
+                  gen.uniform_below(static_cast<std::uint64_t>(k) + 1)) -
+              1;
+  }
+  std::vector<Count> loads(static_cast<std::size_t>(k), 0);
+  for (const TaskId a : prev) {
+    if (a != kIdle) ++loads[static_cast<std::size_t>(a)];
+  }
+  for (auto _ : state) {
+    std::int64_t switches = 0;
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      const TaskId was = prev[i];
+      const TaskId now = next[i];
+      if (now == was) continue;
+      ++switches;
+      if (was != kIdle) --loads[static_cast<std::size_t>(was)];
+      if (now != kIdle) ++loads[static_cast<std::size_t>(now)];
+    }
+    benchmark::DoNotOptimize(switches);
+    benchmark::DoNotOptimize(loads.data());
+    prev.swap(next);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SwitchRecount)->Arg(1 << 14)->Arg(1 << 17);
 
 void BM_AggregateAntRound(benchmark::State& state) {
   const auto k = static_cast<std::int32_t>(state.range(0));
@@ -80,26 +161,50 @@ void BM_AggregatePreciseSigmoidRound(benchmark::State& state) {
 }
 BENCHMARK(BM_AggregatePreciseSigmoidRound);
 
+// arg0 = colony size, arg1 = sampling mode (0 per-ant, 1 batched). The
+// batched arm drives the runner directly, the same work run_agent_sim's fast
+// path does per round.
 void BM_AgentAntRound(benchmark::State& state) {
   const auto n = static_cast<Count>(state.range(0));
+  const bool batched = state.range(1) != 0;
   const std::int32_t k = 4;
   AntAgent algo(AntParams{.gamma = 0.05});
   SigmoidFeedback fm(0.05);
-  const DemandVector demands = uniform_demands(k, n / (4 * k));
   std::vector<TaskId> assignment(static_cast<std::size_t>(n), kIdle);
-  algo.reset(n, k, assignment, 3);
   const std::vector<double> deficits(static_cast<std::size_t>(k), 5.0);
   const std::vector<Count> demand_counts(static_cast<std::size_t>(k),
                                          n / (4 * k));
   Round t = 1;
-  for (auto _ : state) {
-    const FeedbackAccess fb(fm, t, deficits, demand_counts, 3);
-    algo.step(t, fb, assignment);
-    ++t;
+  if (batched) {
+    BatchedAgentRunner* runner = algo.batched_runner();
+    runner->reset(n, k, assignment, 3);
+    std::vector<Count> loads(static_cast<std::size_t>(k), 0);
+    std::vector<double> p_lack(static_cast<std::size_t>(k), 0.0);
+    const std::uint64_t mask = ActiveSet::all(k).mask64();
+    for (auto _ : state) {
+      for (std::int32_t j = 0; j < k; ++j) {
+        p_lack[static_cast<std::size_t>(j)] = fm.lack_probability(
+            t, j, deficits[static_cast<std::size_t>(j)],
+            static_cast<double>(demand_counts[static_cast<std::size_t>(j)]));
+      }
+      benchmark::DoNotOptimize(runner->step(t, p_lack, mask, loads));
+      ++t;
+    }
+  } else {
+    algo.reset(n, k, assignment, 3);
+    std::vector<TaskId> next(assignment.size(), kIdle);
+    for (auto _ : state) {
+      const FeedbackAccess fb(fm, t, deficits, demand_counts, 3);
+      algo.step(t, fb, assignment, next);
+      assignment.swap(next);
+      ++t;
+    }
   }
+  state.SetLabel(batched ? "batched" : "per-ant");
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_AgentAntRound)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_AgentAntRound)
+    ->ArgsProduct({{1 << 10, 1 << 14, 1 << 17}, {0, 1}});
 
 // Minimal CSV reporter (the library's own CSVReporter is deprecated): one
 // row per benchmark with the metrics baseline diffs need. Rows are buffered

@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   const std::string algo_name = args.get_string("algo", "ant");
   const std::string engine_name = args.get_string("engine", "auto");
+  const std::string sampling_name = args.get_string("sampling", "batched");
   const std::string noise = args.get_string("noise", "sigmoid");
   const std::string adversary = args.get_string("adversary", "honest");
   const std::string initial_name = args.get_string("initial", "idle");
@@ -148,6 +149,8 @@ int main(int argc, char** argv) {
     }
     std::printf("noise: sigmoid | adv | exact; engine: auto | agent | "
                 "aggregate; initial: idle | uniform | adversarial | random\n");
+    std::printf("sampling (agent engine): batched (default, bulk-count fast "
+                "path) | per-ant (legacy golden-traced stream)\n");
     std::printf("metrics: --metrics=a,b,c selects streaming metrics "
                 "(--list-metrics for the registry; default: %s)\n",
                 default_metrics_label().c_str());
@@ -271,6 +274,7 @@ int main(int argc, char** argv) {
 
   // Parse the string flags into enums once, at the boundary.
   const Engine engine = parse_engine(engine_name);
+  const SamplingMode sampling = parse_sampling_mode(sampling_name);
   const InitialKind initial = parse_initial_kind(initial_name);
 
   const DemandVector demands = uniform_demands(k, demand);
@@ -323,6 +327,7 @@ int main(int argc, char** argv) {
     // --metrics selects the streaming metric set: the campaign columns, the
     // shard CSV columns, and (through the config hash) the merge key.
     campaign.metrics.names = split_csv(metrics_flag);
+    campaign.sampling = sampling;
     campaign.trace_dir = trace_dir;
     if (!shard_flag.empty()) campaign.shard = parse_shard(shard_flag);
 
@@ -373,6 +378,7 @@ int main(int argc, char** argv) {
   cfg.rounds = rounds;
   cfg.seed = seed;
   cfg.initial = initial;
+  cfg.sampling = sampling;
   cfg.metrics = {.gamma = gamma,
                  .warmup = rounds / 2,
                  .trace_stride = std::max<Round>(1, rounds / 512),

@@ -1,7 +1,10 @@
 #include "agent/agent_sim.h"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "algo/batched.h"
 #include "rng/splitmix.h"
 
 namespace antalloc {
@@ -21,7 +24,72 @@ std::vector<TaskId> initial_assignment(Count n_ants,
   return assignment;
 }
 
+// Batched fast path: the runner advances the whole colony with bulk count
+// draws; the engine only supplies per-task marginals and records rounds.
+SimResult run_batched(BatchedAgentRunner& runner, const FeedbackModel& fm,
+                      const DemandSchedule& schedule, const AgentSimConfig& cfg,
+                      std::int32_t k, std::vector<Count> loads,
+                      std::span<const TaskId> initial) {
+  runner.reset(cfg.n_ants, k, initial, cfg.seed);
+
+  MetricsRecorder recorder(k, cfg.n_ants, cfg.metrics);
+  std::vector<double> p_lack(static_cast<std::size_t>(k), 0.0);
+
+  const bool lifecycle = schedule.has_lifecycle();
+  ActiveSet current_active = ActiveSet::all(k);
+  std::uint64_t active_mask = current_active.mask64();
+  std::size_t prev_segment = static_cast<std::size_t>(-1);
+
+  for (Round t = 1; t <= cfg.rounds; ++t) {
+    const std::size_t segment = schedule.segment_index_at(t);
+    const DemandVector& demands = schedule.segment_demands(segment);
+    std::int64_t flushed = 0;
+    if (lifecycle && segment != prev_segment) {
+      const ActiveSet& active = schedule.segment_active(segment);
+      if (active != current_active) {
+        flushed = runner.apply_lifecycle(t, active, loads);
+        current_active = active;
+        active_mask = current_active.mask64();
+      }
+    }
+    prev_segment = segment;
+    // Per-ant marginal lack probability of each task this round. Feedback
+    // reflects the loads at time t-1; dormant tasks answer unconditional
+    // overload, i.e. marginal 0.
+    for (std::int32_t j = 0; j < k; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      p_lack[ju] =
+          ((active_mask >> j) & 1)
+              ? fm.lack_probability(t, j,
+                                    static_cast<double>(demands[j] - loads[ju]),
+                                    static_cast<double>(demands[j]))
+              : 0.0;
+    }
+
+    const std::int64_t switches = runner.step(t, p_lack, active_mask, loads);
+
+    recorder.record_round(RoundView{.t = t,
+                                    .loads = loads,
+                                    .demands = &demands,
+                                    .active = &current_active,
+                                    .switches = flushed + switches,
+                                    .flushes = flushed});
+  }
+  return recorder.finish(loads);
+}
+
 }  // namespace
+
+std::string_view to_string(SamplingMode mode) {
+  return mode == SamplingMode::kBatched ? "batched" : "per-ant";
+}
+
+SamplingMode parse_sampling_mode(std::string_view s) {
+  if (s == "per-ant") return SamplingMode::kPerAnt;
+  if (s == "batched") return SamplingMode::kBatched;
+  throw std::invalid_argument("unknown sampling mode '" + std::string(s) +
+                              "' (expected per-ant|batched)");
+}
 
 SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
                         const DemandSchedule& schedule,
@@ -41,7 +109,18 @@ SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
   Allocation init(cfg.n_ants, loads);
 
   std::vector<TaskId> assignment = initial_assignment(cfg.n_ants, loads);
-  std::vector<TaskId> prev_assignment = assignment;
+
+  // Batched sampling applies only when the algorithm offers a runner and the
+  // per-ant draws are exchangeable (i.i.d. given the loads); anything else
+  // falls back to the per-ant stream, which is always correct.
+  if (cfg.sampling == SamplingMode::kBatched && fm.iid_across_ants()) {
+    if (BatchedAgentRunner* runner = algo.batched_runner()) {
+      return run_batched(*runner, fm, schedule, cfg, k, std::move(loads),
+                         assignment);
+    }
+  }
+
+  std::vector<TaskId> next_assignment(assignment.size(), kIdle);
   algo.reset(cfg.n_ants, k, assignment, cfg.seed);
 
   MetricsRecorder recorder(k, cfg.n_ants, cfg.metrics);
@@ -76,6 +155,7 @@ SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
         // accounting produces.
         for (auto& a : assignment) {
           if (a != kIdle && !active[a]) {
+            --loads[static_cast<std::size_t>(a)];
             a = kIdle;
             ++flushed;
           }
@@ -86,7 +166,6 @@ SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
       }
     }
     prev_segment = segment;
-    prev_assignment = assignment;
     // Feedback in round t reflects the loads at time t-1; dormant tasks are
     // outside the problem, so their deficit is pinned to zero (their
     // feedback is unconditionally overload regardless).
@@ -100,16 +179,21 @@ SimResult run_agent_sim(AgentAlgorithm& algo, FeedbackModel& fm,
     const FeedbackAccess fb(fm, t, deficits, demands.values(), cfg.seed,
                             active_mask);
 
-    algo.step(t, fb, assignment);
+    algo.step(t, fb, assignment, next_assignment);
 
-    // Recompute loads and count exact switches.
-    std::fill(loads.begin(), loads.end(), 0);
+    // Fused incremental diff: update loads and count exact switches against
+    // the post-flush snapshot, then swap the double-buffered assignments —
+    // no per-round O(n) copy or O(k) refill.
     std::int64_t switches = 0;
     for (std::size_t i = 0; i < assignment.size(); ++i) {
-      const TaskId a = assignment[i];
-      if (a != kIdle) ++loads[static_cast<std::size_t>(a)];
-      if (a != prev_assignment[i]) ++switches;
+      const TaskId was = assignment[i];
+      const TaskId now = next_assignment[i];
+      if (now == was) continue;
+      ++switches;
+      if (was != kIdle) --loads[static_cast<std::size_t>(was)];
+      if (now != kIdle) ++loads[static_cast<std::size_t>(now)];
     }
+    assignment.swap(next_assignment);
     recorder.record_round(RoundView{.t = t,
                                     .loads = loads,
                                     .demands = &demands,

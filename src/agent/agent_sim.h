@@ -5,10 +5,24 @@
 // (correlated, per-ant adversarial) noise or memory-limited ants. Use the
 // aggregate engine for large colonies under i.i.d. noise; the two agree in
 // distribution (tested).
+//
+// Sampling modes. The engine offers two statistically equivalent ways to
+// realize each round:
+//  * kPerAnt — the legacy stream: every ant re-seeds its own generator from
+//    (seed, round, ant) and draws its coins individually. Bit-exact with the
+//    committed golden traces; works for every algorithm and feedback model.
+//  * kBatched — the fast path: per (task, decision-kind) counts are drawn in
+//    bulk (one binomial / multinomial per group) and the affected ants are
+//    selected by unbiased partial Fisher–Yates. Requires an algorithm that
+//    provides a BatchedAgentRunner and an i.i.d.-across-ants feedback model;
+//    the engine silently falls back to kPerAnt otherwise. The count stream
+//    is seeded exactly like the matching aggregate kernel, so per-round
+//    loads are bit-identical to the aggregate engine for the same seed.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "algo/algorithm.h"
@@ -18,6 +32,15 @@
 
 namespace antalloc {
 
+enum class SamplingMode : std::uint8_t {
+  kPerAnt = 0,   // legacy per-ant RNG stream (golden-trace pinned)
+  kBatched = 1,  // bulk count draws + Fisher–Yates selection
+};
+
+// "per-ant" / "batched"; throws std::invalid_argument on anything else.
+SamplingMode parse_sampling_mode(std::string_view s);
+std::string_view to_string(SamplingMode mode);
+
 struct AgentSimConfig {
   Count n_ants = 0;
   Round rounds = 0;
@@ -25,6 +48,10 @@ struct AgentSimConfig {
   MetricsRecorder::Options metrics{};
   // Initial per-task loads (remaining ants idle). Empty = all idle.
   std::vector<Count> initial_loads{};
+  // Defaults to the legacy stream so direct engine callers (golden traces,
+  // replay fixtures) stay bit-exact; campaigns and the CLI default to
+  // kBatched.
+  SamplingMode sampling = SamplingMode::kPerAnt;
 };
 
 // Runs `algo` under `fm` for cfg.rounds rounds against the demand schedule.

@@ -110,6 +110,8 @@ class FeedbackAccess {
   std::uint64_t active_mask_;
 };
 
+class BatchedAgentRunner;  // algo/batched.h
+
 // Per-ant automaton form.
 class AgentAlgorithm {
  public:
@@ -122,10 +124,20 @@ class AgentAlgorithm {
                      std::span<const TaskId> initial, std::uint64_t seed) = 0;
 
   // Executes round t: reads feedback through `fb` (which reflects the loads
-  // at time t-1) and rewrites `assignment` (size n) to the round-t
-  // occupation of every ant.
+  // at time t-1), reads the round-(t-1) occupation from `prev` and writes
+  // the round-t occupation of EVERY ant to `next` (same size n, disjoint
+  // storage). The engine double-buffers the two spans, so an implementation
+  // that keeps an ant in place must still write prev[i] through to next[i].
   virtual void step(Round t, const FeedbackAccess& fb,
-                    std::span<TaskId> assignment) = 0;
+                    std::span<const TaskId> prev, std::span<TaskId> next) = 0;
+
+  // Optional batched fast path (algo/batched.h): a count-level runner with
+  // exactly this automaton's law, used by the agent engine when
+  // AgentSimConfig::sampling is kBatched and the noise is i.i.d. across
+  // ants. Returning nullptr (the default) means "per-ant only"; the engine
+  // then falls back silently. The returned runner is owned by the algorithm
+  // and must stay valid for the algorithm's lifetime.
+  virtual BatchedAgentRunner* batched_runner() { return nullptr; }
 
   // Lifecycle hook: called by the engine before step(t) whenever the
   // active-task set changes. By the time it runs the engine has already

@@ -3,18 +3,14 @@
 #include <bit>
 #include <stdexcept>
 
+#include "algo/ant_batched.h"
+#include "core/bits.h"
 #include "rng/binomial.h"
 #include "rng/multinomial.h"
 #include "rng/poisson_binomial.h"
 
 namespace antalloc {
 namespace {
-
-// Picks the i-th set bit (0-based) of `mask`.
-TaskId nth_set_bit(std::uint64_t mask, int index) {
-  for (int i = 0; i < index; ++i) mask &= mask - 1;
-  return static_cast<TaskId>(std::countr_zero(mask));
-}
 
 void validate(const AntParams& p) {
   if (!(p.gamma > 0.0) || p.gamma > 1.0) {
@@ -36,6 +32,13 @@ void validate(const AntParams& p) {
 
 AntAgent::AntAgent(AntParams params) : params_(params) { validate(params_); }
 
+AntAgent::~AntAgent() = default;
+
+BatchedAgentRunner* AntAgent::batched_runner() {
+  if (!batched_) batched_ = std::make_unique<AntBatchedRunner>(params_);
+  return batched_.get();
+}
+
 void AntAgent::reset(Count n_ants, std::int32_t k,
                      std::span<const TaskId> initial, std::uint64_t seed) {
   if (k > kMaxAgentTasks) {
@@ -48,15 +51,15 @@ void AntAgent::reset(Count n_ants, std::int32_t k,
 }
 
 void AntAgent::step(Round t, const FeedbackAccess& fb,
-                    std::span<TaskId> assignment) {
-  const auto n = static_cast<std::int64_t>(assignment.size());
+                    std::span<const TaskId> prev, std::span<TaskId> next) {
+  const auto n = static_cast<std::int64_t>(prev.size());
   const bool first_round_of_phase = (t % 2) == 1;
 
   if (first_round_of_phase) {
     for (std::int64_t i = 0; i < n; ++i) {
       const auto iu = static_cast<std::size_t>(i);
       // Line 4: commit to the task held at the end of the previous phase.
-      const TaskId ct = assignment[iu];
+      const TaskId ct = prev[iu];
       current_task_[iu] = ct;
       rng::Xoshiro256 gen(rng::hash_words(seed_ ^ 0xA11Au,
                                           static_cast<std::uint64_t>(t),
@@ -64,13 +67,12 @@ void AntAgent::step(Round t, const FeedbackAccess& fb,
       if (ct == kIdle) {
         // Idle ants need the full first-sample vector for the join rule.
         s1_lack_[iu] = fb.sample_lack_mask(i);
-        assignment[iu] = kIdle;
+        next[iu] = kIdle;
       } else {
         // Working ants only ever consult their own task's sample.
         const Feedback s1 = fb.sample(i, ct);
         s1_lack_[iu] = (s1 == Feedback::kLack) ? (1ull << ct) : 0;
-        assignment[iu] =
-            gen.bernoulli(params_.pause_probability()) ? kIdle : ct;
+        next[iu] = gen.bernoulli(params_.pause_probability()) ? kIdle : ct;
       }
     }
     return;
@@ -86,19 +88,19 @@ void AntAgent::step(Round t, const FeedbackAccess& fb,
     if (ct == kIdle) {
       const std::uint64_t both_lack = s1_lack_[iu] & fb.sample_lack_mask(i);
       if (both_lack == 0) {
-        assignment[iu] = kIdle;
+        next[iu] = kIdle;
       } else {
         const int choices = std::popcount(both_lack);
         const int pick = static_cast<int>(
             gen.uniform_below(static_cast<std::uint64_t>(choices)));
-        assignment[iu] = nth_set_bit(both_lack, pick);
+        next[iu] = static_cast<TaskId>(nth_set_bit(both_lack, pick));
       }
     } else {
       const bool s1_over = (s1_lack_[iu] & (1ull << ct)) == 0;
       const bool s2_over = fb.sample(i, ct) == Feedback::kOverload;
       const bool leave = s1_over && s2_over &&
                          gen.bernoulli(params_.leave_probability());
-      assignment[iu] = leave ? kIdle : ct;
+      next[iu] = leave ? kIdle : ct;
     }
   }
 }

@@ -14,11 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "algo/algorithm.h"
 
 namespace antalloc {
+
+class AntBatchedRunner;  // algo/ant_batched.h
 
 struct AntParams {
   double gamma = 0.02;  // learning rate γ in [γ*, 1/16]
@@ -35,17 +38,20 @@ struct AntParams {
 class AntAgent final : public AgentAlgorithm {
  public:
   explicit AntAgent(AntParams params);
+  ~AntAgent() override;
 
   std::string_view name() const override { return "ant"; }
   const AntParams& params() const { return params_; }
 
   void reset(Count n_ants, std::int32_t k, std::span<const TaskId> initial,
              std::uint64_t seed) override;
-  void step(Round t, const FeedbackAccess& fb,
-            std::span<TaskId> assignment) override;
+  void step(Round t, const FeedbackAccess& fb, std::span<const TaskId> prev,
+            std::span<TaskId> next) override;
   // Drops phase commitments to dying tasks: a flushed worker's first-sample
   // mask is cleared, so it cannot join anything before the next phase start.
   void on_lifecycle(Round t, const ActiveSet& active) override;
+  // Count-level fast path (algo/ant_batched.h), lazily constructed.
+  BatchedAgentRunner* batched_runner() override;
 
  private:
   AntParams params_;
@@ -53,6 +59,7 @@ class AntAgent final : public AgentAlgorithm {
   std::int32_t k_ = 0;
   std::vector<TaskId> current_task_;     // task committed to this phase
   std::vector<std::uint64_t> s1_lack_;   // first-sample lack bitmask
+  std::unique_ptr<AntBatchedRunner> batched_;
 };
 
 // Exact count-level kernel (i.i.d. feedback only). Internal classes per

@@ -44,18 +44,19 @@ void OracleAgent::reset(Count /*n_ants*/, std::int32_t k,
 }
 
 void OracleAgent::step(Round /*t*/, const FeedbackAccess& fb,
-                       std::span<TaskId> assignment) {
+                       std::span<const TaskId> /*prev*/,
+                       std::span<TaskId> next) {
   // Deterministically lay ants out to meet the demands exactly: the first
   // d(0) ants on task 0, the next d(1) on task 1, ..., the rest idle.
-  std::size_t next = 0;
+  std::size_t cursor = 0;
   for (TaskId j = 0; j < k_; ++j) {
     const auto want = static_cast<std::size_t>(std::max<Count>(0, fb.demand(j)));
-    for (std::size_t c = 0; c < want && next < assignment.size(); ++c) {
-      assignment[next++] = j;
+    for (std::size_t c = 0; c < want && cursor < next.size(); ++c) {
+      next[cursor++] = j;
     }
   }
-  std::fill(assignment.begin() + static_cast<std::ptrdiff_t>(next),
-            assignment.end(), kIdle);
+  std::fill(next.begin() + static_cast<std::ptrdiff_t>(cursor), next.end(),
+            kIdle);
 }
 
 }  // namespace antalloc

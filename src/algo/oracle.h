@@ -35,8 +35,8 @@ class OracleAgent final : public AgentAlgorithm {
   std::string_view name() const override { return "oracle"; }
   void reset(Count n_ants, std::int32_t k, std::span<const TaskId> initial,
              std::uint64_t seed) override;
-  void step(Round t, const FeedbackAccess& fb,
-            std::span<TaskId> assignment) override;
+  void step(Round t, const FeedbackAccess& fb, std::span<const TaskId> prev,
+            std::span<TaskId> next) override;
 
  private:
   std::vector<Count> demand_hint_;  // filled per round from the feedback size

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/bits.h"
 #include "rng/binomial.h"
 #include "rng/multinomial.h"
 
@@ -13,11 +14,6 @@ namespace antalloc {
 namespace {
 
 constexpr std::int32_t kNeverPaused = std::numeric_limits<std::int32_t>::max();
-
-TaskId nth_set_bit(std::uint64_t mask, int index) {
-  for (int i = 0; i < index; ++i) mask &= mask - 1;
-  return static_cast<TaskId>(std::countr_zero(mask));
-}
 
 void validate(const PreciseAdversarialParams& p) {
   if (!(p.gamma > 0.0) || p.gamma > 1.0 / 16.0 + 1e-12) {
@@ -66,8 +62,9 @@ void PreciseAdversarialAgent::reset(Count n_ants, std::int32_t k,
 }
 
 void PreciseAdversarialAgent::step(Round t, const FeedbackAccess& fb,
-                                   std::span<TaskId> assignment) {
-  const auto n = static_cast<std::int64_t>(assignment.size());
+                                   std::span<const TaskId> prev,
+                                   std::span<TaskId> next) {
+  const auto n = static_cast<std::int64_t>(prev.size());
   const std::int32_t r1 = params_.r1();
   const Round phase = params_.phase_length();
   const auto r = static_cast<std::int32_t>(t % phase);
@@ -77,7 +74,7 @@ void PreciseAdversarialAgent::step(Round t, const FeedbackAccess& fb,
 
     if (r == 1) {
       // Phase start: commit, clear per-phase memory.
-      current_task_[iu] = assignment[iu];
+      current_task_[iu] = prev[iu];
       pause_round_[iu] = kNeverPaused;
       first_lack_[iu] = r1;
       all_lack_[iu] = full_mask(k_);
@@ -103,40 +100,40 @@ void PreciseAdversarialAgent::step(Round t, const FeedbackAccess& fb,
                                         static_cast<std::uint64_t>(t),
                                         static_cast<std::uint64_t>(i)));
 
-    // --- Assignment update by sub-phase position.
+    // --- Assignment update by sub-phase position. Rounds that don't move
+    // this ant carry the previous assignment through unchanged.
+    TaskId out = prev[iu];
     if (ct == kIdle) {
       if (r == 0) {
         // Join a uniformly random task whose feedback was lack all phase.
         const std::uint64_t mask = all_lack_[iu];
         if (mask == 0) {
-          assignment[iu] = kIdle;
+          out = kIdle;
         } else {
           const int pick = static_cast<int>(gen.uniform_below(
               static_cast<std::uint64_t>(std::popcount(mask))));
-          assignment[iu] = nth_set_bit(mask, pick);
+          out = static_cast<TaskId>(nth_set_bit(mask, pick));
         }
       }
-      continue;
-    }
-
-    if (r >= 2 && r < r1) {
+    } else if (r >= 2 && r < r1) {
       // Cumulative thinning sweep.
       if (pause_round_[iu] == kNeverPaused &&
           gen.bernoulli(params_.pause_probability())) {
         pause_round_[iu] = r;
       }
-      assignment[iu] = pause_round_[iu] == kNeverPaused ? ct : kIdle;
+      out = pause_round_[iu] == kNeverPaused ? ct : kIdle;
     } else if (r == r1) {
       // Freeze at the status held in round rmin.
       const bool was_idle_at_rmin = pause_round_[iu] <= first_lack_[iu];
-      assignment[iu] = was_idle_at_rmin ? kIdle : ct;
+      out = was_idle_at_rmin ? kIdle : ct;
     } else if (r == 0) {
       // End of phase: resume, unless leaving after an all-overload phase.
       const bool leave = all_over_[iu] != 0 &&
                          gen.bernoulli(params_.leave_probability());
-      assignment[iu] = leave ? kIdle : ct;
+      out = leave ? kIdle : ct;
     }
-    // r in [r1+1, r1+r2-1]: keep the frozen assignment (no change).
+    // r in [r1+1, r1+r2-1]: keep the frozen assignment (out == prev).
+    next[iu] = out;
   }
 }
 

@@ -48,8 +48,8 @@ class PreciseAdversarialAgent final : public AgentAlgorithm {
 
   void reset(Count n_ants, std::int32_t k, std::span<const TaskId> initial,
              std::uint64_t seed) override;
-  void step(Round t, const FeedbackAccess& fb,
-            std::span<TaskId> assignment) override;
+  void step(Round t, const FeedbackAccess& fb, std::span<const TaskId> prev,
+            std::span<TaskId> next) override;
   // Drops commitments to dying tasks; a flushed worker's all-lack mask is
   // cleared, which keeps it idle until the phase-start reset.
   void on_lifecycle(Round t, const ActiveSet& active) override;

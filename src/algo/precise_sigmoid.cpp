@@ -1,20 +1,17 @@
 #include "algo/precise_sigmoid.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
 
+#include "core/bits.h"
 #include "rng/binomial.h"
 #include "rng/multinomial.h"
 #include "rng/poisson_binomial.h"
 
 namespace antalloc {
 namespace {
-
-TaskId nth_set_bit(std::uint64_t mask, int index) {
-  for (int i = 0; i < index; ++i) mask &= mask - 1;
-  return static_cast<TaskId>(std::countr_zero(mask));
-}
 
 void validate(const PreciseSigmoidParams& p) {
   if (!(p.gamma > 0.0) || p.gamma >= 0.5) {
@@ -94,9 +91,8 @@ void PreciseSigmoidAgent::on_lifecycle(Round /*t*/, const ActiveSet& active) {
   }
 }
 
-void PreciseSigmoidAgent::accumulate(const FeedbackAccess& fb,
-                                     std::span<TaskId> assignment) {
-  const auto n = static_cast<std::int64_t>(assignment.size());
+void PreciseSigmoidAgent::accumulate(const FeedbackAccess& fb, Count n_ants) {
+  const auto n = static_cast<std::int64_t>(n_ants);
   for (std::int64_t i = 0; i < n; ++i) {
     if (dormant_[static_cast<std::size_t>(i)] != 0) continue;
     const TaskId ct = current_task_[static_cast<std::size_t>(i)];
@@ -115,8 +111,9 @@ void PreciseSigmoidAgent::accumulate(const FeedbackAccess& fb,
 }
 
 void PreciseSigmoidAgent::step(Round t, const FeedbackAccess& fb,
-                               std::span<TaskId> assignment) {
-  const auto n = static_cast<std::int64_t>(assignment.size());
+                               std::span<const TaskId> prev,
+                               std::span<TaskId> next) {
+  const auto n = static_cast<std::int64_t>(prev.size());
   const Round phase = params_.phase_length();
   const Round r = t % phase;  // r = 1..phase-1, then 0 (decision round)
   const std::int32_t majority = majority_threshold(m_);
@@ -126,15 +123,19 @@ void PreciseSigmoidAgent::step(Round t, const FeedbackAccess& fb,
     // ants flushed off dying tasks mid-phase wake up as ordinary idle ants.
     for (std::int64_t i = 0; i < n; ++i) {
       const auto iu = static_cast<std::size_t>(i);
-      current_task_[iu] = assignment[iu];
+      current_task_[iu] = prev[iu];
     }
     std::fill(counts_.begin(), counts_.end(), 0);
     std::fill(dormant_.begin(), dormant_.end(), 0);
   }
 
-  accumulate(fb, assignment);
+  accumulate(fb, n);
 
-  if (r >= 1 && r < m_) return;  // window 1 in progress, assignments frozen
+  if (r >= 1 && r < m_) {
+    // Window 1 in progress, assignments frozen.
+    std::copy(prev.begin(), prev.end(), next.begin());
+    return;
+  }
 
   if (r == m_) {
     // First-window medians, then the temporary pause.
@@ -154,14 +155,20 @@ void PreciseSigmoidAgent::step(Round t, const FeedbackAccess& fb,
         rng::Xoshiro256 gen(rng::hash_words(seed_ ^ 0x51B1u,
                                             static_cast<std::uint64_t>(t),
                                             static_cast<std::uint64_t>(i)));
-        assignment[iu] = gen.bernoulli(params_.pause_probability()) ? kIdle : ct;
+        next[iu] = gen.bernoulli(params_.pause_probability()) ? kIdle : ct;
+      } else {
+        next[iu] = prev[iu];
       }
     }
     std::fill(counts_.begin(), counts_.end(), 0);  // reuse for window 2
     return;
   }
 
-  if (r != 0) return;  // window 2 in progress
+  if (r != 0) {
+    // Window 2 in progress, assignments frozen.
+    std::copy(prev.begin(), prev.end(), next.begin());
+    return;
+  }
 
   // Decision round: second-window medians, leaves and joins.
   for (std::int64_t i = 0; i < n; ++i) {
@@ -177,18 +184,18 @@ void PreciseSigmoidAgent::step(Round t, const FeedbackAccess& fb,
       }
       const std::uint64_t both = med1_lack_[iu] & med2;
       if (both == 0) {
-        assignment[iu] = kIdle;
+        next[iu] = kIdle;
       } else {
         const int pick = static_cast<int>(
             gen.uniform_below(static_cast<std::uint64_t>(std::popcount(both))));
-        assignment[iu] = nth_set_bit(both, pick);
+        next[iu] = static_cast<TaskId>(nth_set_bit(both, pick));
       }
     } else {
       const bool med1_over = (med1_lack_[iu] & (1ull << ct)) == 0;
       const bool med2_over = lack_count(i, ct) < majority;
       const bool leave = med1_over && med2_over &&
                          gen.bernoulli(params_.leave_probability());
-      assignment[iu] = leave ? kIdle : ct;
+      next[iu] = leave ? kIdle : ct;
     }
   }
 }

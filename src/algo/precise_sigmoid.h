@@ -61,8 +61,8 @@ class PreciseSigmoidAgent final : public AgentAlgorithm {
 
   void reset(Count n_ants, std::int32_t k, std::span<const TaskId> initial,
              std::uint64_t seed) override;
-  void step(Round t, const FeedbackAccess& fb,
-            std::span<TaskId> assignment) override;
+  void step(Round t, const FeedbackAccess& fb, std::span<const TaskId> prev,
+            std::span<TaskId> next) override;
   // Drops commitments to dying tasks; a flushed worker goes dormant (no
   // sampling, no joining) until the next phase start, and every ant's stale
   // lack counts for the dead task are zeroed so they cannot out-vote a
@@ -75,7 +75,7 @@ class PreciseSigmoidAgent final : public AgentAlgorithm {
                        static_cast<std::size_t>(k_) +
                    static_cast<std::size_t>(j)];
   }
-  void accumulate(const FeedbackAccess& fb, std::span<TaskId> assignment);
+  void accumulate(const FeedbackAccess& fb, Count n_ants);
 
   PreciseSigmoidParams params_;
   std::uint64_t seed_ = 0;

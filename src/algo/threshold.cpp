@@ -44,8 +44,9 @@ void ThresholdAgent::reset(Count n_ants, std::int32_t k,
 }
 
 void ThresholdAgent::step(Round t, const FeedbackAccess& fb,
-                          std::span<TaskId> assignment) {
-  const auto n = static_cast<std::int64_t>(assignment.size());
+                          std::span<const TaskId> prev,
+                          std::span<TaskId> next) {
+  const auto n = static_cast<std::int64_t>(prev.size());
   const double alpha = params_.smoothing;
   for (std::int64_t i = 0; i < n; ++i) {
     const auto iu = static_cast<std::size_t>(i);
@@ -56,7 +57,8 @@ void ThresholdAgent::step(Round t, const FeedbackAccess& fb,
       double& s = stimulus(i, j);
       s += alpha * (obs - s);
     }
-    const TaskId ct = assignment[iu];
+    const TaskId ct = prev[iu];
+    TaskId out = ct;
     if (ct == kIdle) {
       // Engage with the active task whose stimulus most exceeds this ant's
       // threshold (if any). Dormant tasks are skipped outright: their stale
@@ -72,12 +74,13 @@ void ThresholdAgent::step(Round t, const FeedbackAccess& fb,
           best = j;
         }
       }
-      if (best != kIdle) assignment[iu] = best;
+      if (best != kIdle) out = best;
     } else if (stimulus(i, ct) <
                threshold(i, ct) - params_.hysteresis) {
       // Disengage once the stimulus has clearly subsided.
-      assignment[iu] = kIdle;
+      out = kIdle;
     }
+    next[iu] = out;
   }
   (void)t;
 }

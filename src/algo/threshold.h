@@ -38,8 +38,8 @@ class ThresholdAgent final : public AgentAlgorithm {
 
   void reset(Count n_ants, std::int32_t k, std::span<const TaskId> initial,
              std::uint64_t seed) override;
-  void step(Round t, const FeedbackAccess& fb,
-            std::span<TaskId> assignment) override;
+  void step(Round t, const FeedbackAccess& fb, std::span<const TaskId> prev,
+            std::span<TaskId> next) override;
 
  private:
   double& stimulus(std::int64_t ant, TaskId j) {

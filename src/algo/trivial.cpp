@@ -3,19 +3,12 @@
 #include <bit>
 #include <stdexcept>
 
+#include "core/bits.h"
 #include "rng/binomial.h"
 #include "rng/multinomial.h"
 #include "rng/poisson_binomial.h"
 
 namespace antalloc {
-namespace {
-
-TaskId nth_set_bit(std::uint64_t mask, int index) {
-  for (int i = 0; i < index; ++i) mask &= mask - 1;
-  return static_cast<TaskId>(std::countr_zero(mask));
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Agent form
@@ -39,11 +32,13 @@ void ReactiveAgent::reset(Count /*n_ants*/, std::int32_t k,
 }
 
 void ReactiveAgent::step(Round t, const FeedbackAccess& fb,
-                         std::span<TaskId> assignment) {
-  const auto n = static_cast<std::int64_t>(assignment.size());
+                         std::span<const TaskId> prev,
+                         std::span<TaskId> next) {
+  const auto n = static_cast<std::int64_t>(prev.size());
   for (std::int64_t i = 0; i < n; ++i) {
     const auto iu = static_cast<std::size_t>(i);
-    const TaskId ct = assignment[iu];
+    const TaskId ct = prev[iu];
+    TaskId out = ct;
     rng::Xoshiro256 gen(rng::hash_words(seed_ ^ 0x7121u,
                                         static_cast<std::uint64_t>(t),
                                         static_cast<std::uint64_t>(i)));
@@ -52,12 +47,13 @@ void ReactiveAgent::step(Round t, const FeedbackAccess& fb,
       if (lack != 0) {
         const int pick = static_cast<int>(
             gen.uniform_below(static_cast<std::uint64_t>(std::popcount(lack))));
-        assignment[iu] = nth_set_bit(lack, pick);
+        out = static_cast<TaskId>(nth_set_bit(lack, pick));
       }
     } else if (fb.sample(i, ct) == Feedback::kOverload &&
                gen.bernoulli(params_.leave_probability)) {
-      assignment[iu] = kIdle;
+      out = kIdle;
     }
+    next[iu] = out;
   }
 }
 

@@ -35,8 +35,8 @@ class ReactiveAgent final : public AgentAlgorithm {
 
   void reset(Count n_ants, std::int32_t k, std::span<const TaskId> initial,
              std::uint64_t seed) override;
-  void step(Round t, const FeedbackAccess& fb,
-            std::span<TaskId> assignment) override;
+  void step(Round t, const FeedbackAccess& fb, std::span<const TaskId> prev,
+            std::span<TaskId> next) override;
 
  private:
   ReactiveParams params_;

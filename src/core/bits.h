@@ -1,0 +1,55 @@
+// Bit-manipulation helpers shared by the agent algorithms.
+//
+// The hot one is nth_set_bit: every uniform "join one of the lack tasks"
+// decision selects the i-th set bit of a feedback mask. On x86-64 with BMI2
+// this is a single PDEP + TZCNT; elsewhere (and as the reference the unit
+// test checks against) a clear-lowest-bit loop.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace antalloc {
+
+// Reference implementation: clears `index` set bits, then finds the next.
+// `mask` must have more than `index` bits set.
+constexpr std::int32_t nth_set_bit_naive(std::uint64_t mask,
+                                         std::int32_t index) {
+  for (std::int32_t i = 0; i < index; ++i) mask &= mask - 1;
+  return std::countr_zero(mask);
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+namespace detail {
+// PDEP deposits the single bit 1 << index into the positions of the set bits
+// of `mask`, i.e. exactly onto the index-th set bit; TZCNT reads it back.
+// Compiled with the bmi2 target attribute so the translation unit itself
+// needs no -mbmi2; callers must gate on kHasBmi2.
+[[gnu::target("bmi2")]] inline std::int32_t nth_set_bit_pdep(
+    std::uint64_t mask, std::int32_t index) {
+  return std::countr_zero(_pdep_u64(std::uint64_t{1} << index, mask));
+}
+// Resolved once at startup (namespace-scope initialization), so the per-call
+// cost is one predictable branch, not a function-local static guard.
+inline const bool kHasBmi2 = __builtin_cpu_supports("bmi2") != 0;
+}  // namespace detail
+
+inline std::int32_t nth_set_bit(std::uint64_t mask, std::int32_t index) {
+  return detail::kHasBmi2 ? detail::nth_set_bit_pdep(mask, index)
+                          : nth_set_bit_naive(mask, index);
+}
+
+#else
+
+inline std::int32_t nth_set_bit(std::uint64_t mask, std::int32_t index) {
+  return nth_set_bit_naive(mask, index);
+}
+
+#endif
+
+}  // namespace antalloc

@@ -1,0 +1,18 @@
+#include "rng/bulk_sampler.h"
+
+#include "rng/binomial.h"
+#include "rng/multinomial.h"
+
+namespace antalloc::rng {
+
+std::int64_t BulkSampler::binomial(std::int64_t n, double p) {
+  return rng::binomial(count_gen_, n, p);
+}
+
+std::int64_t BulkSampler::multinomial_rest(std::int64_t n,
+                                           std::span<const double> probs,
+                                           std::span<std::int64_t> counts) {
+  return rng::multinomial_rest_into(count_gen_, n, probs, counts);
+}
+
+}  // namespace antalloc::rng

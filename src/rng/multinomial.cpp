@@ -12,12 +12,12 @@ namespace {
 // When `exhaustive` is true the listed outcomes cover all probability mass
 // and any numerically-leftover count is folded into the last bin; when false
 // (the `_rest` variant) the leftover stays unassigned for the caller.
-std::vector<std::int64_t> multinomial_with_total(Xoshiro256& gen,
-                                                 std::int64_t n,
-                                                 std::span<const double> probs,
-                                                 double total_mass,
-                                                 bool exhaustive) {
-  std::vector<std::int64_t> counts(probs.size(), 0);
+// Writes into `counts` (size probs.size()) and returns the unassigned count.
+std::int64_t multinomial_with_total_into(Xoshiro256& gen, std::int64_t n,
+                                         std::span<const double> probs,
+                                         double total_mass, bool exhaustive,
+                                         std::span<std::int64_t> counts) {
+  std::fill(counts.begin(), counts.end(), std::int64_t{0});
   std::int64_t remaining = n;
   double mass = total_mass;
   for (std::size_t i = 0; i < probs.size() && remaining > 0; ++i) {
@@ -37,8 +37,9 @@ std::vector<std::int64_t> multinomial_with_total(Xoshiro256& gen,
   }
   if (exhaustive && remaining > 0 && !counts.empty()) {
     counts.back() += remaining;
+    remaining = 0;
   }
-  return counts;
+  return remaining;
 }
 
 }  // namespace
@@ -52,15 +53,25 @@ std::vector<std::int64_t> multinomial(Xoshiro256& gen, std::int64_t n,
     if (!counts.empty()) counts[0] = n;
     return counts;
   }
-  return multinomial_with_total(gen, n, probs, total, /*exhaustive=*/true);
+  std::vector<std::int64_t> counts(probs.size(), 0);
+  multinomial_with_total_into(gen, n, probs, total, /*exhaustive=*/true,
+                              counts);
+  return counts;
+}
+
+std::int64_t multinomial_rest_into(Xoshiro256& gen, std::int64_t n,
+                                   std::span<const double> probs,
+                                   std::span<std::int64_t> counts) {
+  return multinomial_with_total_into(gen, n, probs, 1.0, /*exhaustive=*/false,
+                                     counts);
 }
 
 std::vector<std::int64_t> multinomial_rest(Xoshiro256& gen, std::int64_t n,
                                            std::span<const double> probs) {
-  auto counts = multinomial_with_total(gen, n, probs, 1.0, /*exhaustive=*/false);
-  const std::int64_t assigned =
-      std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
-  counts.push_back(n - assigned);
+  std::vector<std::int64_t> counts(probs.size(), 0);
+  const std::int64_t rest =
+      multinomial_rest_into(gen, n, probs, counts);
+  counts.push_back(rest);
   return counts;
 }
 

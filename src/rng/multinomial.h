@@ -26,4 +26,12 @@ std::vector<std::int64_t> multinomial(Xoshiro256& gen, std::int64_t n,
 std::vector<std::int64_t> multinomial_rest(Xoshiro256& gen, std::int64_t n,
                                            std::span<const double> probs);
 
+// Allocation-free form of multinomial_rest: writes the per-outcome counts
+// into `counts` (size probs.size()) and returns the leftover count. Consumes
+// exactly the same generator draws as multinomial_rest, so the two are
+// stream-interchangeable.
+std::int64_t multinomial_rest_into(Xoshiro256& gen, std::int64_t n,
+                                   std::span<const double> probs,
+                                   std::span<std::int64_t> counts);
+
 }  // namespace antalloc::rng

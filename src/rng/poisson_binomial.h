@@ -10,6 +10,11 @@
 // which we evaluate exactly with an O(k^2) dynamic program over the
 // Poisson-binomial distribution of B_j (leave-one-out). Idle ants are i.i.d.
 // given the current loads, so the join counts are Multinomial(n_idle, q).
+//
+// Each helper exists in two forms: an allocating convenience wrapper and an
+// `_into` variant writing into caller-owned storage, for per-round hot paths
+// that must stay allocation-free (rng/bulk_sampler.h). Both compute the same
+// floating-point operations in the same order, so results are bit-identical.
 #pragma once
 
 #include <span>
@@ -18,11 +23,28 @@
 namespace antalloc::rng {
 
 // PMF of the Poisson-binomial distribution: counts of successes among
-// independent Bernoulli(p[i]). Returns a vector of size p.size() + 1.
+// independent Bernoulli(p[i]). `pmf_out` must have size p.size() + 1.
+void poisson_binomial_pmf_into(std::span<const double> p,
+                               std::span<double> pmf_out);
+
+// Allocating wrapper; returns a vector of size p.size() + 1.
 std::vector<double> poisson_binomial_pmf(std::span<const double> p);
 
-// Exact per-task join probabilities q[j] as defined above. q.size() ==
-// p.size(); 1 - sum(q) is the probability of remaining idle.
+// Reusable workspace for uniform_choice_marginals_into. Sized lazily to the
+// task count; reusing one instance across rounds keeps the call
+// allocation-free after the first use.
+struct ChoiceMarginalsWorkspace {
+  std::vector<double> rest;  // leave-one-out probability list (k - 1)
+  std::vector<double> pmf;   // leave-one-out PMF (k)
+};
+
+// Exact per-task join probabilities q[j] as defined above. `q_out` must have
+// size p.size(); 1 - sum(q) is the probability of remaining idle.
+void uniform_choice_marginals_into(std::span<const double> p,
+                                   std::span<double> q_out,
+                                   ChoiceMarginalsWorkspace& ws);
+
+// Allocating wrapper; q.size() == p.size().
 std::vector<double> uniform_choice_marginals(std::span<const double> p);
 
 }  // namespace antalloc::rng

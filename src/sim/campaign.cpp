@@ -161,6 +161,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         ecfg.initial_loads = scenario.initial_loads;
         ecfg.metrics = cfg.metrics;
         ecfg.metrics.names = metric_families;
+        ecfg.sampling = cfg.sampling;
         if (ecfg.metrics.warmup == 0) ecfg.metrics.warmup = cfg.rounds / 2;
 
         CampaignCell cell;
@@ -266,9 +267,12 @@ std::uint64_t campaign_config_hash(const CampaignConfig& cfg) {
   // v2: the resolved metric selection entered the fingerprint (PR 5), so
   // shards computed with different metric sets — different columns — can
   // never merge, and pre-redesign shards are rejected wholesale.
+  // v3: the agent-engine sampling mode entered (batched fast path) — the
+  // two modes draw different equivalent-in-law streams, so shards must not
+  // mix them, and pre-batching shards are rejected wholesale.
   // trace_dir, like the shard spec and pool, stays OUT of the hash: where a
   // campaign's traces land must not change any number it computes.
-  std::uint64_t h = rng::hash_string("antalloc-campaign-v2");
+  std::uint64_t h = rng::hash_string("antalloc-campaign-v3");
 
   h = mix_u64(h, cfg.scenarios.size());
   for (const Scenario& sc : cfg.scenarios) {
@@ -308,6 +312,7 @@ std::uint64_t campaign_config_hash(const CampaignConfig& cfg) {
   for (const NoiseSpec& noise : cfg.noises) h = mix_str(h, noise.name);
 
   h = mix_u64(h, static_cast<std::uint64_t>(cfg.engine));
+  h = mix_u64(h, static_cast<std::uint64_t>(cfg.sampling));
   h = mix_u64(h, static_cast<std::uint64_t>(cfg.n_ants));
   h = mix_u64(h, static_cast<std::uint64_t>(cfg.rounds));
   h = mix_u64(h, cfg.seed);

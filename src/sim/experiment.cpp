@@ -91,7 +91,8 @@ SimResult run_experiment(const ExperimentConfig& cfg, FeedbackModel& fm,
                          .rounds = cfg.rounds,
                          .seed = cfg.seed,
                          .metrics = metrics,
-                         .initial_loads = loads};
+                         .initial_loads = loads,
+                         .sampling = cfg.sampling};
       return run_agent_sim(*algo, fm, schedule, sim);
     }
     case Engine::kAuto:

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "agent/agent_sim.h"
 #include "algo/registry.h"
 #include "core/allocation.h"
 #include "core/demand.h"
@@ -53,6 +54,11 @@ struct ExperimentConfig {
   // scalars land in SimResult::metric_names/metric_values; empty = the
   // default set ("regret", "violations", "switches").
   MetricsRecorder::Options metrics{};
+  // Agent-engine sampling mode. Experiments default to the batched fast
+  // path (the engine falls back to per-ant automatically where batching is
+  // unsound or unsupported); pass kPerAnt to pin the legacy golden-traced
+  // stream. Ignored by the aggregate engine.
+  SamplingMode sampling = SamplingMode::kBatched;
 };
 
 // The engine kAuto resolves to for this algorithm + noise model: the

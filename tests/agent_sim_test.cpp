@@ -2,6 +2,7 @@
 // determinism, switch counting, and demand-schedule handling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "agent/agent_sim.h"
@@ -19,7 +20,10 @@ class FrozenAlgorithm final : public AgentAlgorithm {
   std::string_view name() const override { return "frozen"; }
   void reset(Count, std::int32_t, std::span<const TaskId>,
              std::uint64_t) override {}
-  void step(Round, const FeedbackAccess&, std::span<TaskId>) override {}
+  void step(Round, const FeedbackAccess&, std::span<const TaskId> prev,
+            std::span<TaskId> next) override {
+    std::copy(prev.begin(), prev.end(), next.begin());
+  }
 };
 
 // Every ant toggles between idle and task 0 each round: maximal switching.
@@ -28,9 +32,9 @@ class TogglingAlgorithm final : public AgentAlgorithm {
   std::string_view name() const override { return "toggler"; }
   void reset(Count, std::int32_t, std::span<const TaskId>,
              std::uint64_t) override {}
-  void step(Round t, const FeedbackAccess&,
-            std::span<TaskId> assignment) override {
-    for (auto& a : assignment) a = (t % 2 == 0) ? kIdle : 0;
+  void step(Round t, const FeedbackAccess&, std::span<const TaskId>,
+            std::span<TaskId> next) override {
+    for (auto& a : next) a = (t % 2 == 0) ? kIdle : 0;
   }
 };
 

@@ -1,0 +1,71 @@
+// Tests for core/bits.h: the BMI2 PDEP fast path of nth_set_bit must agree
+// with the naive clear-lowest-bit reference on every (mask, index) pair, and
+// the reference itself must satisfy the select semantics (the returned
+// position is a set bit with exactly `index` set bits below it).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/bits.h"
+#include "rng/xoshiro.h"
+
+namespace antalloc {
+namespace {
+
+// Select semantics, independent of either implementation.
+void check_select(std::uint64_t mask, std::int32_t index, std::int32_t pos) {
+  ASSERT_GE(pos, 0);
+  ASSERT_LT(pos, 64);
+  EXPECT_NE(mask & (std::uint64_t{1} << pos), 0u)
+      << "mask=" << mask << " index=" << index;
+  const std::uint64_t below = (std::uint64_t{1} << pos) - 1;
+  EXPECT_EQ(std::popcount(mask & below), index)
+      << "mask=" << mask << " index=" << index;
+}
+
+TEST(NthSetBit, ExhaustiveSmallMasks) {
+  for (std::uint64_t mask = 1; mask < 1024; ++mask) {
+    const std::int32_t bits = std::popcount(mask);
+    for (std::int32_t index = 0; index < bits; ++index) {
+      const std::int32_t ref = nth_set_bit_naive(mask, index);
+      check_select(mask, index, ref);
+      EXPECT_EQ(nth_set_bit(mask, index), ref)
+          << "mask=" << mask << " index=" << index;
+    }
+  }
+}
+
+TEST(NthSetBit, RandomMasksAllDensities) {
+  rng::Xoshiro256 gen(0xB17Bu);
+  for (int iter = 0; iter < 20'000; ++iter) {
+    std::uint64_t mask = gen();
+    switch (iter % 3) {
+      case 0: mask &= gen(); break;  // sparse (~16 bits)
+      case 1: mask |= gen(); break;  // dense (~48 bits)
+      default: break;                // uniform (~32 bits)
+    }
+    if (mask == 0) continue;
+    const auto bits = static_cast<std::uint64_t>(std::popcount(mask));
+    const auto index = static_cast<std::int32_t>(gen.uniform_below(bits));
+    const std::int32_t got = nth_set_bit(mask, index);
+    check_select(mask, index, got);
+    EXPECT_EQ(got, nth_set_bit_naive(mask, index));
+  }
+}
+
+TEST(NthSetBit, EdgeCases) {
+  EXPECT_EQ(nth_set_bit(std::uint64_t{1}, 0), 0);
+  EXPECT_EQ(nth_set_bit(std::uint64_t{1} << 63, 0), 63);
+  // Full mask: selection is the identity.
+  for (std::int32_t index = 0; index < 64; ++index) {
+    EXPECT_EQ(nth_set_bit(~std::uint64_t{0}, index), index);
+  }
+  // Two far-apart bits.
+  const std::uint64_t mask = (std::uint64_t{1} << 63) | 1u;
+  EXPECT_EQ(nth_set_bit(mask, 0), 0);
+  EXPECT_EQ(nth_set_bit(mask, 1), 63);
+}
+
+}  // namespace
+}  // namespace antalloc

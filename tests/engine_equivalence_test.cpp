@@ -176,6 +176,7 @@ TEST(EngineEquivalenceRegistry, RegretDistributionsAgreeAcrossScenarioZoo) {
       cfg.metrics = {.gamma = kGamma, .warmup = kRounds / 2};
 
       cfg.engine = Engine::kAgent;
+      cfg.sampling = SamplingMode::kPerAnt;  // pin the legacy stream arm
       cfg.seed = 1000;
       const auto agent_regret = extract_post_warmup_average(
           run_replicated_experiment(cfg, make_fm, scenario.schedule,
@@ -196,6 +197,34 @@ TEST(EngineEquivalenceRegistry, RegretDistributionsAgreeAcrossScenarioZoo) {
       EXPECT_LE(ks_statistic(agent_regret, agg_regret), 0.8)
           << "agent " << agent_stats.mean() << " vs aggregate "
           << agg_stats.mean();
+
+      // Third arm: the batched agent fast path, for algorithms that offer a
+      // runner and i.i.d. noise (the adversarial pairing is per-ant and
+      // would silently fall back — skip it to keep this arm meaningful).
+      // The batched stream differs bit-wise from both others, so this is a
+      // genuine third sample of the same law across the full scenario zoo,
+      // lifecycle families included.
+      const bool has_runner =
+          make_agent_algorithm(algo_cfg)->batched_runner() != nullptr;
+      if (has_runner && !adversarial) {
+        cfg.engine = Engine::kAgent;
+        cfg.sampling = SamplingMode::kBatched;
+        cfg.seed = 3000;
+        const auto batched_regret = extract_post_warmup_average(
+            run_replicated_experiment(cfg, make_fm, scenario.schedule,
+                                      kReplicates));
+        const RunningStats batched_stats = summarize(batched_regret);
+        const double batched_tol =
+            4.0 * std::sqrt(batched_stats.stderr_mean() *
+                                batched_stats.stderr_mean() +
+                            agent_stats.stderr_mean() *
+                                agent_stats.stderr_mean()) +
+            0.15 * std::max(batched_stats.mean(), agent_stats.mean()) + 3.0;
+        EXPECT_NEAR(batched_stats.mean(), agent_stats.mean(), batched_tol);
+        EXPECT_LE(ks_statistic(batched_regret, agent_regret), 0.8)
+            << "batched " << batched_stats.mean() << " vs per-ant "
+            << agent_stats.mean();
+      }
     }
   }
 }
@@ -239,6 +268,7 @@ TEST(EngineEquivalenceOutOfModel, IdlePoolExhaustionAgrees) {
       const DemandSchedule schedule(demands);
 
       cfg.engine = Engine::kAgent;
+      cfg.sampling = SamplingMode::kPerAnt;  // pin the legacy stream arm
       cfg.seed = 1000;
       const auto agent_regret = extract_post_warmup_average(
           run_replicated_experiment(cfg, make_fm, schedule, kReplicates));
@@ -247,8 +277,29 @@ TEST(EngineEquivalenceOutOfModel, IdlePoolExhaustionAgrees) {
       const auto agg_regret = extract_post_warmup_average(
           run_replicated_experiment(cfg, make_fm, schedule, kReplicates));
 
+      // Batched arm: the idle-pool clamp must agree out of model too (joins
+      // are drawn from the same finite pool in all three realizations).
+      cfg.engine = Engine::kAgent;
+      cfg.sampling = SamplingMode::kBatched;
+      cfg.seed = 3000;
+      const auto batched_regret = extract_post_warmup_average(
+          run_replicated_experiment(cfg, make_fm, schedule, kReplicates));
+
       const RunningStats agent_stats = summarize(agent_regret);
       const RunningStats agg_stats = summarize(agg_regret);
+      const RunningStats batched_stats = summarize(batched_regret);
+      if (algo_name == "ant") {  // trivial has no batched runner: falls back
+        const double batched_tol =
+            4.0 * std::sqrt(batched_stats.stderr_mean() *
+                                batched_stats.stderr_mean() +
+                            agent_stats.stderr_mean() *
+                                agent_stats.stderr_mean()) +
+            0.15 * std::max(batched_stats.mean(), agent_stats.mean()) + 3.0;
+        EXPECT_NEAR(batched_stats.mean(), agent_stats.mean(), batched_tol);
+        EXPECT_LE(ks_statistic(batched_regret, agent_regret), 0.8)
+            << "batched " << batched_stats.mean() << " vs per-ant "
+            << agent_stats.mean();
+      }
       const double mean_tol =
           4.0 * std::sqrt(agent_stats.stderr_mean() * agent_stats.stderr_mean() +
                           agg_stats.stderr_mean() * agg_stats.stderr_mean()) +

@@ -157,10 +157,12 @@ TEST(PreciseSigmoidAgent, AssignmentsFrozenInsideWindows) {
   const std::vector<double> deficits{10.0, -10.0};
   const std::vector<Count> demands{Count{90}, Count{60}};
 
+  std::vector<TaskId> next(assignment.size(), kIdle);
   for (Round t = 1; t <= 2 * phase; ++t) {
     const std::vector<TaskId> before(assignment.begin(), assignment.end());
     const FeedbackAccess fb(fm, t, deficits, demands, 53);
-    algo.step(t, fb, assignment);
+    algo.step(t, fb, assignment, next);
+    assignment.swap(next);
     const Round r = t % phase;
     if (r != 0 && r != m) {
       EXPECT_EQ(before, assignment) << "assignments moved at r=" << r;
