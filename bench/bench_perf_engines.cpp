@@ -19,8 +19,11 @@
 #include "algo/batched.h"
 #include "common.h"
 #include "algo/precise_sigmoid.h"
+#include "metrics/metric.h"
 #include "noise/sigmoid.h"
 #include "rng/binomial.h"
+#include "rng/splitmix.h"
+#include "sim/campaign.h"
 #include "rng/bulk_sampler.h"
 #include "rng/poisson_binomial.h"
 #include "rng/xoshiro.h"
@@ -205,6 +208,80 @@ void BM_AgentAntRound(benchmark::State& state) {
 }
 BENCHMARK(BM_AgentAntRound)
     ->ArgsProduct({{1 << 10, 1 << 14, 1 << 17}, {0, 1}});
+
+// Campaign scheduling throughput: arg0 = cells, arg1 = replicates per cell,
+// arg2 = scheduler (0 = the pre-task-graph sequential cell loop — one
+// run_replicated_experiment per cell, barrier at every cell boundary;
+// 1 = the flat work-stealing run_campaign). Both arms run the identical
+// (and deliberately small) simulation workload on the same global executor,
+// so the ratio between them isolates pure scheduling: with replicates below
+// the worker count, arm 0 idles most of the machine at each boundary while
+// arm 1 keeps every worker fed from the flat (cell × replicate) space.
+// items_per_second = completed trials per second.
+void BM_CampaignSchedule(benchmark::State& state) {
+  const auto cells = static_cast<std::size_t>(state.range(0));
+  const auto reps = state.range(1);
+  const bool flat = state.range(2) == 1;
+
+  const DemandVector base({Count{160}, Count{96}});
+  CampaignConfig cfg;
+  for (std::size_t c = 0; c < cells; ++c) {
+    ScenarioSpec spec;
+    spec.name = "constant";
+    spec.initial = InitialKind::kUniform;
+    cfg.scenarios.push_back(make_scenario(spec, base, 256));
+  }
+  cfg.algos = {AlgoConfig{.name = "ant", .gamma = 0.05}};
+  cfg.noises = {{"sigmoid",
+                 [] { return std::make_unique<SigmoidFeedback>(1.0); }}};
+  cfg.n_ants = 512;
+  cfg.rounds = 256;
+  cfg.seed = 7;
+  cfg.replicates = reps;
+
+  // The sequential arm's per-cell configs, planned outside the timing loop
+  // (mirroring the flat arm, whose planning phase is not what is measured).
+  std::vector<ExperimentConfig> ecfgs;
+  if (!flat) {
+    const std::vector<std::string> families =
+        resolve_metric_names(cfg.metrics.names);
+    for (std::size_t si = 0; si < cells; ++si) {
+      ExperimentConfig ecfg;
+      ecfg.algo = cfg.algos[0];
+      ecfg.n_ants = cfg.n_ants;
+      ecfg.rounds = cfg.rounds;
+      ecfg.seed = rng::hash_words(cfg.seed, si, 0, 0);
+      ecfg.initial = cfg.scenarios[si].initial;
+      ecfg.metrics = cfg.metrics;
+      ecfg.metrics.names = families;
+      if (ecfg.metrics.warmup == 0) ecfg.metrics.warmup = cfg.rounds / 2;
+      ecfg.engine = Engine::kAggregate;
+      ecfgs.push_back(std::move(ecfg));
+    }
+  }
+
+  for (auto _ : state) {
+    if (flat) {
+      const CampaignResult result = run_campaign(cfg);
+      benchmark::DoNotOptimize(result.cells.size());
+    } else {
+      double sink = 0.0;
+      for (std::size_t si = 0; si < cells; ++si) {
+        const auto results = run_replicated_experiment(
+            ecfgs[si], cfg.noises[0].make, cfg.scenarios[si].schedule, reps);
+        RunningStats stats;
+        for (const auto& r : results) stats.add(r.post_warmup_average());
+        sink += stats.mean();
+      }
+      benchmark::DoNotOptimize(sink);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells) * reps);
+}
+BENCHMARK(BM_CampaignSchedule)
+    ->ArgsProduct({{16, 32}, {2, 4}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 // Minimal CSV reporter (the library's own CSVReporter is deprecated): one
 // row per benchmark with the metrics baseline diffs need. Rows are buffered

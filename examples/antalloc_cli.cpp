@@ -41,11 +41,30 @@
 #include "noise/adversarial.h"
 #include "noise/exact.h"
 #include "noise/sigmoid.h"
+#include "parallel/task_graph.h"
 #include "sim/campaign.h"
 
 using namespace antalloc;
 
 namespace {
+
+// --progress=true: stream per-cell completions to stderr as the
+// work-stealing campaign retires them (completion order, not flat order).
+// stdout stays clean for tables and CSV.
+class StderrCampaignProgress : public CampaignProgress {
+ public:
+  void on_cell_done(const Update& u) override {
+    std::fprintf(stderr,
+                 "[campaign] cell %llu done  %llu/%llu cells, %llu in "
+                 "flight, %lld replicates, %llu steals\n",
+                 static_cast<unsigned long long>(u.flat_index),
+                 static_cast<unsigned long long>(u.cells_done),
+                 static_cast<unsigned long long>(u.cells_total),
+                 static_cast<unsigned long long>(u.cells_in_flight),
+                 static_cast<long long>(u.replicates_done),
+                 static_cast<unsigned long long>(u.steals));
+  }
+};
 
 std::unique_ptr<GreyZoneAdversary> make_adversary(const std::string& name,
                                                   double gamma_ad) {
@@ -132,6 +151,8 @@ int main(int argc, char** argv) {
   const std::string trace_out = args.get_string("trace-out", "");
   const std::string replay_path = args.get_string("replay", "");
   const std::string trace_dir = args.get_string("trace-dir", "");
+  const auto jobs = args.get_int("jobs", -1);
+  const bool show_progress = args.get_bool("progress", false);
   const bool list_scenarios = args.get_bool("list-scenarios", false);
   const bool list_algos = args.get_bool("list-algos", false);
   const bool list_metrics = args.get_bool("list-metrics", false);
@@ -159,9 +180,20 @@ int main(int argc, char** argv) {
     std::printf("tracing: --trace-out=FILE (single run) or --trace-dir=DIR "
                 "(campaign, one trace per replicate) write binary traces; "
                 "--replay=FILE re-drives --metrics over a trace\n");
+    std::printf("parallelism: --jobs=N pins the executor width for every "
+                "mode (campaign and single runs; 0 = hardware concurrency, "
+                "the default); --progress=true streams per-cell campaign "
+                "completions to stderr\n");
     return 0;
   }
   args.check_unknown();
+
+  // Pin the executor width before anything parallel runs: the global
+  // work-stealing graph is built lazily on first use, and --jobs must win
+  // that race. Thread count never changes any result — only wall-clock.
+  if (jobs >= 0) {
+    set_global_task_graph_threads(static_cast<std::size_t>(jobs));
+  }
 
   // Registry listings: the discoverability entry points (no run needed).
   if (list_scenarios || list_algos || list_metrics) {
@@ -330,6 +362,8 @@ int main(int argc, char** argv) {
     campaign.sampling = sampling;
     campaign.trace_dir = trace_dir;
     if (!shard_flag.empty()) campaign.shard = parse_shard(shard_flag);
+    StderrCampaignProgress progress;
+    if (show_progress) campaign.progress = &progress;
 
     std::printf("campaign: %lld scenarios x %lld algos on %s, n=%lld, k=%d, "
                 "%lld rounds x %lld replicates\n",

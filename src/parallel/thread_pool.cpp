@@ -1,97 +1,31 @@
 #include "parallel/thread_pool.h"
 
-#include <atomic>
-#include <exception>
+#include <algorithm>
 
 namespace antalloc {
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-}
+ThreadPool::ThreadPool(std::size_t threads)
+    : owned_(std::make_unique<TaskGraph>(threads)), graph_(owned_.get()) {}
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
-  }
-  work_available_.notify_all();
-  for (auto& worker : workers_) worker.join();
-}
+ThreadPool::ThreadPool(TaskGraph& borrowed) : graph_(&borrowed) {}
 
-void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::lock_guard lock(mutex_);
-    queue_.push(std::move(task));
-    ++in_flight_;
-  }
-  work_available_.notify_one();
-}
-
-void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-}
-
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
-    task();
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
-    }
-  }
-}
+ThreadPool::~ThreadPool() = default;
 
 void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& body) {
   if (begin >= end) return;
-  // Block decomposition: at most 4 blocks per worker keeps queue overhead
-  // low while still smoothing imbalance.
-  const auto total = end - begin;
-  const auto max_blocks =
-      static_cast<std::int64_t>(pool.size()) * 4;
+  // Block decomposition: at most 4 blocks per worker keeps scheduling
+  // overhead low while still smoothing imbalance (stealing rebalances the
+  // blocks themselves).
+  const std::int64_t total = end - begin;
+  const std::int64_t max_blocks = static_cast<std::int64_t>(pool.size()) * 4;
   const std::int64_t blocks = std::min<std::int64_t>(total, max_blocks);
-  const std::int64_t chunk = (total + blocks - 1) / blocks;
-
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  for (std::int64_t b = 0; b < blocks; ++b) {
-    const std::int64_t lo = begin + b * chunk;
-    const std::int64_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool.submit([lo, hi, &body, &error_mutex, &first_error] {
-      for (std::int64_t i = lo; i < hi; ++i) {
-        try {
-          body(i);
-        } catch (...) {
-          std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      }
-    });
-  }
-  pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  const std::int64_t grain = (total + blocks - 1) / blocks;
+  pool.graph().run_indexed(begin, end, grain, body);
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool(global_task_graph());
   return pool;
 }
 

@@ -1,0 +1,164 @@
+// Chase–Lev work-stealing deque: the lock-free task store under
+// parallel/task_graph.h, one per executor worker.
+//
+// Protocol (Chase & Lev, SPAA'05; memory orders after Lê, Pop, Cohen &
+// Nardelli, PPoPP'13): the OWNER pushes and pops at the bottom — its common
+// case is a plain load/store pair with no contention — while any number of
+// THIEVES take from the top with a compare-and-swap on the top counter.
+// Owner and thieves meet only when the deque is down to its last element,
+// where the owner's pop and a thief's steal race on the same CAS; exactly
+// one wins, so every pushed element is claimed exactly once. There is no
+// mutex anywhere: this is what makes the executor's task hot path lock-free.
+//
+// Deviations from the letter of the PPoPP'13 code, both deliberate:
+//  - top/bottom use seq_cst operations instead of standalone
+//    atomic_thread_fence calls. ThreadSanitizer does not model standalone
+//    fences (it would report false races on the Dekker-style
+//    store-bottom/load-top handshake in pop vs steal), and the CI TSan job
+//    is part of this deque's contract. The seq_cst total order gives the
+//    same guarantee the fences did; the cost is nanoseconds on operations
+//    that bound tasks costing microseconds to milliseconds.
+//  - the ring grows instead of failing when full, and retired rings are
+//    kept alive until the deque is destroyed: a thief that loaded the old
+//    ring pointer may still read a slot from it, and that slot is never
+//    reused after a grow (the owner only writes to the current ring), so
+//    the stale read returns the correct value and the CAS on top decides
+//    whether it counts.
+//
+// T must be trivially copyable (task handles — the executor stores raw
+// TaskNode pointers). Slots are relaxed atomics: the release/acquire (and
+// seq_cst) edges on bottom and top publish their contents.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace antalloc {
+
+template <typename T>
+class WsDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WsDeque stores raw task handles");
+
+ public:
+  explicit WsDeque(std::size_t min_capacity = 64) {
+    ring_.store(new Ring(round_up_pow2(min_capacity)),
+                std::memory_order_relaxed);
+  }
+
+  ~WsDeque() {
+    delete ring_.load(std::memory_order_relaxed);
+    for (Ring* r : retired_) delete r;
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  // Owner only: pushes one element at the bottom. Grows when full; never
+  // blocks, never fails.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(ring->capacity) - 1) {
+      ring = grow(ring, t, b);
+    }
+    ring->slot(b).store(value, std::memory_order_relaxed);
+    // seq_cst store so the sleep/wake Dekker handshake in the executor (push
+    // bottom, then load the sleeper count) is ordered against a sleeper's
+    // (bump sleeper count, then load bottom).
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  // Owner only: pops the most recently pushed element (LIFO). Returns false
+  // when empty — including when a thief won the race for the last element.
+  bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Already empty: restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = ring->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race thieves for it via the top CAS.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  // Any thread: steals the oldest element (FIFO end). Returns false when
+  // empty or when another thief (or the owner, on the last element) won the
+  // CAS — callers treat false as "try elsewhere", not as an error.
+  bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    out = ring->slot(t).load(std::memory_order_relaxed);
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+  }
+
+  // Approximate size — owner/monitoring only (racy by nature; used for
+  // "is there anything worth waking up for" hints, never for correctness).
+  std::int64_t size_hint() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  std::size_t capacity() const {
+    return ring_.load(std::memory_order_relaxed)->capacity;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+    std::atomic<T>& slot(std::int64_t index) {
+      return slots[static_cast<std::size_t>(index) & mask];
+    }
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  // Owner only: doubles the ring, copying the live range [t, b). The old
+  // ring is retired, not freed — a concurrent thief may still read from it.
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    Ring* bigger = new Ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    ring_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  // Top and bottom on separate cache lines: thieves hammer top, the owner
+  // hammers bottom.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_{nullptr};
+  std::vector<Ring*> retired_;  // owner-only; freed with the deque
+};
+
+}  // namespace antalloc

@@ -1,13 +1,16 @@
 #include "sim/campaign.h"
 
+#include <atomic>
 #include <bit>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "io/trace_log.h"
 #include "io/trace_reader.h"
+#include "parallel/thread_pool.h"
 #include "rng/splitmix.h"
 
 namespace antalloc {
@@ -126,8 +129,6 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
 
   CampaignResult out;
   out.metrics = metric_families;
-  out.cells.reserve(
-      shard_cell_indices(campaign_total_cells(cfg), cfg.shard).size());
 
   // One provenance stamp for every trace this campaign writes; computed
   // once, outside the cell loop (the hash walks every schedule).
@@ -137,6 +138,18 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     trace_hash = campaign_config_hash(cfg);
   }
 
+  // Phase 1 — plan (sequential, cheap). All seed derivation and engine
+  // resolution happens here, exactly as the historical sequential cell loop
+  // did it, so the numbers cannot depend on what phase 2 schedules where.
+  struct CellPlan {
+    std::size_t flat = 0;
+    const Scenario* scenario = nullptr;
+    const NoiseSpec* noise = nullptr;
+    ExperimentConfig ecfg;
+    SinkFactory make_sink;
+  };
+  std::vector<CellPlan> plans;
+  std::vector<CampaignCell> cells;
   for (std::size_t si = 0; si < cfg.scenarios.size(); ++si) {
     const Scenario& scenario = cfg.scenarios[si];
     for (std::size_t ai = 0; ai < cfg.algos.size(); ++ai) {
@@ -147,12 +160,17 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
             (si * cfg.algos.size() + ai) * cfg.noises.size() + ni;
         if (!shard_owns(cfg.shard, flat)) continue;
 
-        ExperimentConfig ecfg;
+        CellPlan plan;
+        plan.flat = flat;
+        plan.scenario = &scenario;
+        plan.noise = &noise;
+
+        ExperimentConfig& ecfg = plan.ecfg;
         ecfg.algo = algo;
         ecfg.n_ants = cfg.n_ants;
         ecfg.rounds = cfg.rounds;
         // Cell seed from matrix coordinates, not from loop scheduling:
-        // replicate seeds derive from it by index inside run_sim_trials.
+        // replicate seeds derive from it by index inside run_replicate.
         // With pair_noise_seeds the noise coordinate is left out, giving
         // common random numbers across the noise axis.
         ecfg.seed = rng::hash_words(cfg.seed, si, ai,
@@ -183,7 +201,6 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         // options (gamma falls back to this cell's algorithm learning rate
         // inside run_experiment), so a replay reconstructs the recorder the
         // replicate actually ran.
-        SinkFactory make_sink;
         if (!cfg.trace_dir.empty()) {
           const MetricsRecorder::Options resolved = resolved_metrics(ecfg);
           TraceMeta meta{.n_ants = cfg.n_ants,
@@ -192,9 +209,9 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
                          .bands = resolved.bands,
                          .warmup = resolved.warmup};
           const DemandSchedule* schedule = &scenario.schedule;
-          make_sink = [&cfg, meta, schedule, flat](
-                          std::int64_t trial,
-                          std::uint64_t seed) -> std::unique_ptr<RoundSink> {
+          plan.make_sink = [&cfg, meta, schedule, flat](
+                               std::int64_t trial, std::uint64_t seed)
+              -> std::unique_ptr<RoundSink> {
             TraceMeta m = meta;
             m.seed = seed;
             return std::make_unique<TraceWriter>(
@@ -205,25 +222,95 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
           };
         }
 
-        auto results =
-            run_replicated_experiment(ecfg, noise.make, scenario.schedule,
-                                      cfg.replicates, cfg.pool, make_sink);
-
-        // One RunningStats per selected scalar, fed from each replicate's
-        // metric map in replicate order (the order every shard reproduces,
-        // so merged accumulator states are bit-identical).
-        cell.metric_stats.assign(scalar_specs.size(), RunningStats{});
-        for (const auto& r : results) {
-          for (std::size_t si = 0; si < scalar_specs.size(); ++si) {
-            cell.metric_stats[si].add(r.metric(scalar_specs[si].name));
-          }
-        }
-        cell.fill_legacy_views(scalar_specs);
-        if (cfg.keep_results) cell.results = std::move(results);
-        out.cells.push_back(std::move(cell));
+        plans.push_back(std::move(plan));
+        cells.push_back(std::move(cell));
       }
     }
   }
+
+  // Phase 2 — run the flat (cell × replicate) space as one task graph.
+  // Every replicate is an independent stealable task writing into its own
+  // pre-sized slot; there is no per-cell barrier. A cell folds the moment
+  // its own last replicate lands, detected by a per-cell atomic countdown:
+  // the release half of the fetch_sub publishes each task's slot write, the
+  // acquire half lets the final decrementer read all of them.
+  const std::int64_t reps = cfg.replicates;
+  const std::size_t n_cells = plans.size();
+  std::vector<std::vector<SimResult>> slots(n_cells);
+  for (auto& s : slots) s.resize(static_cast<std::size_t>(reps));
+
+  struct CellTrack {
+    std::atomic<std::int64_t> remaining{0};
+    std::atomic<bool> started{false};
+  };
+  std::unique_ptr<CellTrack[]> tracks(new CellTrack[n_cells]);
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    tracks[i].remaining.store(reps, std::memory_order_relaxed);
+  }
+
+  TaskGraph& graph = (cfg.pool != nullptr ? *cfg.pool : global_pool()).graph();
+  const std::uint64_t steals_base = graph.steals();
+  std::atomic<std::size_t> cells_done{0};
+  std::atomic<std::size_t> cells_started{0};
+  std::atomic<std::int64_t> replicates_done{0};
+  std::mutex progress_mutex;
+
+  const TaskGraph::IndexFn body = [&](std::int64_t ti) {
+    const std::size_t ci = static_cast<std::size_t>(ti / reps);
+    const std::int64_t rep = ti % reps;
+    if (!tracks[ci].started.exchange(true, std::memory_order_relaxed)) {
+      cells_started.fetch_add(1, std::memory_order_relaxed);
+    }
+    const CellPlan& plan = plans[ci];
+    slots[ci][static_cast<std::size_t>(rep)] = run_replicate(
+        plan.ecfg, plan.noise->make, plan.scenario->schedule, rep,
+        plan.make_sink);
+  };
+  const TaskGraph::IndexFn on_done = [&](std::int64_t ti) {
+    const std::size_t ci = static_cast<std::size_t>(ti / reps);
+    replicates_done.fetch_add(1, std::memory_order_relaxed);
+    if (tracks[ci].remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      return;
+    }
+    // Last replicate of this cell: fold. One RunningStats per selected
+    // scalar, fed from each replicate's metric map in REPLICATE order —
+    // not completion order — so the accumulator states are bit-identical
+    // to the sequential loop's (and to every other worker count's).
+    CampaignCell& cell = cells[ci];
+    cell.metric_stats.assign(scalar_specs.size(), RunningStats{});
+    for (const auto& r : slots[ci]) {
+      for (std::size_t k = 0; k < scalar_specs.size(); ++k) {
+        cell.metric_stats[k].add(r.metric(scalar_specs[k].name));
+      }
+    }
+    cell.fill_legacy_views(scalar_specs);
+    if (cfg.keep_results) {
+      cell.results = std::move(slots[ci]);
+    } else {
+      // Release replicate memory as cells retire instead of holding every
+      // slot until the shard finishes.
+      slots[ci] = {};
+    }
+    const std::size_t done = cells_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (cfg.progress != nullptr) {
+      // Serialize observer calls (the contract CampaignProgress documents);
+      // the in-flight count is a best-effort snapshot.
+      std::lock_guard lock(progress_mutex);
+      CampaignProgress::Update u;
+      u.flat_index = cell.flat_index;
+      u.cells_done = done;
+      u.cells_total = n_cells;
+      const std::size_t started = cells_started.load(std::memory_order_relaxed);
+      u.cells_in_flight = started > done ? started - done : 0;
+      u.replicates_done = replicates_done.load(std::memory_order_relaxed);
+      u.steals = graph.steals() - steals_base;
+      cfg.progress->on_cell_done(u);
+    }
+  };
+  graph.run_indexed(0, static_cast<std::int64_t>(n_cells) * reps, 1, body,
+                    on_done);
+
+  out.cells = std::move(cells);
   return out;
 }
 

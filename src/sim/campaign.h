@@ -8,11 +8,20 @@
 // shape), call run_campaign, and read back one CampaignCell per matrix entry
 // with replicate statistics and (optionally) the full SimResults.
 //
+// Scheduling: run_campaign flattens the shard's (cell × replicate) space
+// into one task graph — every replicate of every owned cell is an
+// independent stealable task on the work-stealing executor
+// (parallel/task_graph.h). There is no per-cell barrier: a cell's
+// statistics fold the moment its own last replicate lands (a per-cell
+// atomic countdown), while other cells' replicates keep running.
+//
 // Determinism: the cell seed is hash(seed, scenario_index, algo_index,
 // noise_index) — matrix coordinates, so reordering an axis reseeds the
 // affected cells — and the per-replicate seeds derive from it by index
-// (run_sim_trials), so a campaign's numbers are identical for any thread
-// count. campaign_test pins this with explicit 1- and 4-thread pools.
+// (run_replicate), so a campaign's numbers are identical for any thread
+// count and any steal schedule: every task writes into its own pre-sized
+// slot and folds happen in replicate order regardless of completion order.
+// campaign_schedule_test pins bit-identity across {1, 4, 8}-worker pools.
 //
 // Sharding rides on the same property: because every cell's seed comes from
 // its matrix coordinate and nothing else, a shard (ShardSpec on the config)
@@ -51,6 +60,29 @@ struct NoiseSpec {
 struct ShardSpec {
   std::size_t index = 0;
   std::size_t count = 1;
+};
+
+// Streaming campaign progress observer — the scheduling-side sibling of the
+// PR 5 metric observers. run_campaign invokes on_cell_done once per owned
+// cell, at the moment the cell's LAST replicate lands and its statistics
+// fold (cells finish in scheduling order, not flat order, under work
+// stealing). Calls are serialized by the campaign (never concurrent), but
+// arrive on whichever executor thread folded the cell — keep handlers cheap
+// and do not call back into the campaign from them. Purely observational:
+// attaching one changes no number, so it is excluded from
+// campaign_config_hash like the shard spec and pool.
+class CampaignProgress {
+ public:
+  struct Update {
+    std::size_t flat_index = 0;       // the cell that just folded
+    std::size_t cells_done = 0;       // owned cells folded so far (monotone)
+    std::size_t cells_total = 0;      // owned cells in this shard
+    std::size_t cells_in_flight = 0;  // >=1 replicate started, not yet folded
+    std::int64_t replicates_done = 0; // replicates finished across all cells
+    std::uint64_t steals = 0;         // executor steals since campaign start
+  };
+  virtual ~CampaignProgress() = default;
+  virtual void on_cell_done(const Update& update) = 0;
 };
 
 struct CampaignConfig {
@@ -108,6 +140,9 @@ struct CampaignConfig {
   ShardSpec shard{};
   // nullptr = the process-global pool.
   ThreadPool* pool = nullptr;
+  // Optional progress observer (see CampaignProgress above). Not owned;
+  // must outlive run_campaign. Excluded from campaign_config_hash.
+  CampaignProgress* progress = nullptr;
 };
 
 // One (scenario, algo, noise) entry of the matrix.
@@ -189,8 +224,8 @@ std::vector<std::size_t> shard_cell_indices(std::size_t total_cells,
 // options INCLUDING the resolved metric-name selection (so shards computed
 // with different metric sets — hence different columns — refuse to merge),
 // and the seed-pairing/keep_results switches. Deliberately excluded:
-// the shard spec and thread pool (they must not affect results — that is the
-// whole point), and the noise factories' behavior (closures cannot be
+// the shard spec, thread pool and progress observer (they must not affect
+// results — that is the whole point), and the noise factories' behavior (closures cannot be
 // hashed; the noise NAME stands in for it, so give distinct noise configs
 // distinct names). Two shard files merge only if their hashes agree.
 std::uint64_t campaign_config_hash(const CampaignConfig& cfg);

@@ -101,24 +101,32 @@ SimResult run_experiment(const ExperimentConfig& cfg, FeedbackModel& fm,
   throw std::logic_error("run_experiment: unresolved engine");
 }
 
+SimResult run_replicate(const ExperimentConfig& cfg,
+                        const ModelFactory& make_model,
+                        const DemandSchedule& schedule, std::int64_t trial,
+                        const SinkFactory& make_sink) {
+  const std::uint64_t seed =
+      rng::hash_combine(cfg.seed, static_cast<std::uint64_t>(trial));
+  ExperimentConfig trial_cfg = cfg;
+  trial_cfg.seed = seed;
+  auto model = make_model();
+  std::unique_ptr<RoundSink> sink = make_sink ? make_sink(trial, seed) : nullptr;
+  trial_cfg.metrics.sink = sink.get();
+  SimResult result = run_experiment(trial_cfg, *model, schedule);
+  // Close here, not in the destructor: deferred writer-thread I/O errors
+  // must surface as exceptions out of the trial, not vanish.
+  if (sink) sink->close();
+  return result;
+}
+
 std::vector<SimResult> run_replicated_experiment(
     const ExperimentConfig& cfg, const ModelFactory& make_model,
     const DemandSchedule& schedule, std::int64_t replicates, ThreadPool* pool,
     const SinkFactory& make_sink) {
   return run_sim_trials(
       replicates, cfg.seed,
-      [&](std::int64_t trial, std::uint64_t seed) {
-        ExperimentConfig trial_cfg = cfg;
-        trial_cfg.seed = seed;
-        auto model = make_model();
-        std::unique_ptr<RoundSink> sink =
-            make_sink ? make_sink(trial, seed) : nullptr;
-        trial_cfg.metrics.sink = sink.get();
-        SimResult result = run_experiment(trial_cfg, *model, schedule);
-        // Close here, not in the destructor: deferred writer-thread I/O
-        // errors must surface as exceptions out of the trial, not vanish.
-        if (sink) sink->close();
-        return result;
+      [&](std::int64_t trial, std::uint64_t /*seed*/) {
+        return run_replicate(cfg, make_model, schedule, trial, make_sink);
       },
       pool);
 }

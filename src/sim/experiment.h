@@ -88,6 +88,17 @@ using SinkFactory =
     std::function<std::unique_ptr<RoundSink>(std::int64_t trial,
                                              std::uint64_t seed)>;
 
+// Runs exactly ONE replicate of a replicated experiment: the trial seed is
+// hash(cfg.seed, trial) — the same derivation run_replicated_experiment
+// uses — a fresh model instance, and an optional per-trial sink (closed
+// before returning so deferred I/O errors propagate). This is the unit the
+// work-stealing campaign schedules as an independent task; calling it for
+// every trial index reproduces run_replicated_experiment bit-for-bit.
+SimResult run_replicate(const ExperimentConfig& cfg,
+                        const ModelFactory& make_model,
+                        const DemandSchedule& schedule, std::int64_t trial,
+                        const SinkFactory& make_sink = {});
+
 // Runs `replicates` independent trials in parallel (deterministic per-trial
 // seeds derived from cfg.seed, independent of thread count). `pool` selects
 // the thread pool; nullptr uses the process-global one.

@@ -41,6 +41,10 @@ std::vector<SweepResult> run_sweep(
       static_cast<std::int64_t>(points.size()) * replicates;
   std::vector<double> values(static_cast<std::size_t>(total), 0.0);
 
+  // Chunked index ranges on the work-stealing executor (one shared body,
+  // no per-index task allocation); every (point, replicate) writes its own
+  // pre-sized slot with a seed derived from the flat index, so the sweep is
+  // bit-identical for any worker count.
   parallel_for(global_pool(), 0, total, [&](std::int64_t i) {
     const auto point_index = static_cast<std::size_t>(i / replicates);
     const std::uint64_t seed =
