@@ -30,7 +30,6 @@
 #include <fstream>
 #include <memory>
 
-#include "core/critical_value.h"
 #include "io/args.h"
 #include "io/campaign_io.h"
 #include "io/plot.h"
@@ -38,11 +37,11 @@
 #include "io/trace_log.h"
 #include "io/trace_reader.h"
 #include "metrics/convergence.h"
-#include "noise/adversarial.h"
-#include "noise/exact.h"
-#include "noise/sigmoid.h"
+#include "net/server.h"
 #include "parallel/task_graph.h"
 #include "sim/campaign.h"
+
+#include "job_flags.h"
 
 using namespace antalloc;
 
@@ -65,31 +64,6 @@ class StderrCampaignProgress : public CampaignProgress {
                  static_cast<unsigned long long>(u.steals));
   }
 };
-
-std::unique_ptr<GreyZoneAdversary> make_adversary(const std::string& name,
-                                                  double gamma_ad) {
-  if (name == "honest") return make_honest_adversary();
-  if (name == "always-lack") return make_always_lack_adversary();
-  if (name == "always-overload") return make_always_overload_adversary();
-  if (name == "anti-gradient") return make_anti_gradient_adversary();
-  if (name == "alternating") return make_alternating_adversary();
-  if (name == "indist+") return make_indistinguishable_adversary(+1, gamma_ad);
-  if (name == "indist-") return make_indistinguishable_adversary(-1, gamma_ad);
-  throw std::invalid_argument("unknown adversary '" + name + "'");
-}
-
-std::vector<std::string> split_csv(const std::string& list) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= list.size()) {
-    const std::size_t comma = list.find(',', start);
-    const std::size_t end = comma == std::string::npos ? list.size() : comma;
-    if (end > start) out.push_back(list.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return out;
-}
 
 std::string default_metrics_label() {
   std::string names;
@@ -126,22 +100,31 @@ int main(int argc, char** argv) {
   const std::string algo_name = args.get_string("algo", "ant");
   const std::string engine_name = args.get_string("engine", "auto");
   const std::string sampling_name = args.get_string("sampling", "batched");
-  const std::string noise = args.get_string("noise", "sigmoid");
-  const std::string adversary = args.get_string("adversary", "honest");
   const std::string initial_name = args.get_string("initial", "idle");
   const Count n = args.get_int("n", 1 << 16);
   const auto k = static_cast<std::int32_t>(args.get_int("k", 4));
   const Count demand = args.get_int("demand", 4000);
-  const double lambda = args.get_double("lambda", 0.2);
-  const double gamma_ad = args.get_double("gamma_ad", 0.02);
-  double gamma = args.get_double("gamma", 0.0);
-  const double epsilon = args.get_double("epsilon", 0.5);
+  const DemandVector demands = uniform_demands(k, demand);
+  // Noise flags + learning-rate defaulting, shared with antalloc_client
+  // submit (examples/job_flags.h) so both paths resolve identical configs.
+  NoiseFlags noise_flags;
+  try {
+    noise_flags = parse_noise_flags(args, demands);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const double gamma = noise_flags.gamma;
+  const double epsilon = noise_flags.epsilon;
   const Round rounds = args.get_int("rounds", 8000);
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const bool plot = args.get_bool("plot", true);
   const bool campaign_mode = args.get_bool("campaign", false);
-  const std::string scenarios_flag = args.get_string("scenarios", "all");
-  const std::string algos_flag = args.get_string("algos", "ant");
+  const auto serve_port = args.get_int("serve", -1);
+  // Declared here for help()/check_unknown(); campaign mode re-reads them
+  // through parse_job_spec (examples/job_flags.h).
+  (void)args.get_string("scenarios", "all");
+  (void)args.get_string("algos", "ant");
   const auto replicates = args.get_int("replicates", 2);
   const std::string csv_path = args.get_string("csv", "");
   const std::string shard_flag = args.get_string("shard", "");
@@ -184,6 +167,8 @@ int main(int argc, char** argv) {
                 "mode (campaign and single runs; 0 = hardware concurrency, "
                 "the default); --progress=true streams per-cell campaign "
                 "completions to stderr\n");
+    std::printf("service: --serve=PORT runs the daemon loop (0 = ephemeral "
+                "port; see docs/SERVICE.md and examples/antalloc_client)\n");
     return 0;
   }
   args.check_unknown();
@@ -193,6 +178,26 @@ int main(int argc, char** argv) {
   // that race. Thread count never changes any result — only wall-clock.
   if (jobs >= 0) {
     set_global_task_graph_threads(static_cast<std::size_t>(jobs));
+  }
+
+  // Service mode: the same process as a long-running daemon — accept jobs
+  // over the wire (docs/SERVICE.md), run them on the same global executor,
+  // stream live feeds. antalloc_daemon is this loop as its own binary.
+  if (serve_port >= 0) {
+    if (serve_port > 65535) {
+      std::fprintf(stderr, "error: --serve port must be in [0, 65535]\n");
+      return 2;
+    }
+    DaemonOptions opts;
+    opts.port = static_cast<std::uint16_t>(serve_port);
+    block_termination_signals();
+    DaemonServer server(opts);
+    server.start();
+    std::printf("antalloc daemon listening on 127.0.0.1:%u\n", server.port());
+    std::fflush(stdout);
+    wait_for_termination();
+    server.stop();
+    return 0;
   }
 
   // Registry listings: the discoverability entry points (no run needed).
@@ -309,57 +314,16 @@ int main(int argc, char** argv) {
   const SamplingMode sampling = parse_sampling_mode(sampling_name);
   const InitialKind initial = parse_initial_kind(initial_name);
 
-  const DemandVector demands = uniform_demands(k, demand);
-
-  // The noise axis: one factory (single runs) reused by campaign mode.
-  NoiseSpec noise_spec;
-  if (noise == "sigmoid") {
-    noise_spec = {"sigmoid(lambda=" + Table::fmt(lambda, 3) + ")",
-                  [lambda] { return std::make_unique<SigmoidFeedback>(lambda); }};
-    if (gamma <= 0.0) {
-      gamma = std::min(1.0 / 16.5, 1.5 * critical_value_at(lambda, demands,
-                                                           1e-6));
-    }
-  } else if (noise == "adv") {
-    noise_spec = {"adv(" + adversary + ")", [adversary, gamma_ad] {
-                    return std::make_unique<AdversarialFeedback>(
-                        gamma_ad, make_adversary(adversary, gamma_ad));
-                  }};
-    if (gamma <= 0.0) gamma = std::min(1.0 / 16.5, 1.5 * gamma_ad);
-  } else if (noise == "exact") {
-    noise_spec = {"exact", [] { return std::make_unique<ExactFeedback>(); }};
-    if (gamma <= 0.0) gamma = 0.05;
-  } else {
-    std::fprintf(stderr, "unknown noise '%s'\n", noise.c_str());
-    return 2;
-  }
+  // The noise axis: the same factory (and display name) the daemon builds
+  // from a wire JobNoise — net/server.h's noise_spec_from is the one source.
+  const NoiseSpec noise_spec = noise_spec_from(noise_flags.noise);
 
   if (campaign_mode) {
-    CampaignConfig campaign;
-    const std::vector<std::string> scenario_list =
-        scenarios_flag == "all" ? scenario_names() : split_csv(scenarios_flag);
-    for (const auto& name : scenario_list) {
-      ScenarioSpec spec;
-      spec.name = name;
-      spec.initial = initial;  // --initial applies to every cell
-      spec.seed = seed;
-      campaign.scenarios.push_back(make_scenario(spec, demands, rounds));
-    }
-    for (const auto& name : split_csv(algos_flag)) {
-      campaign.algos.push_back(
-          AlgoConfig{.name = name, .gamma = gamma, .epsilon = epsilon});
-    }
-    campaign.noises = {noise_spec};
-    campaign.engine = engine;
-    campaign.n_ants = n;
-    campaign.rounds = rounds;
-    campaign.seed = seed;
-    campaign.replicates = replicates;
-    campaign.metrics.gamma = gamma;
-    // --metrics selects the streaming metric set: the campaign columns, the
-    // shard CSV columns, and (through the config hash) the merge key.
-    campaign.metrics.names = split_csv(metrics_flag);
-    campaign.sampling = sampling;
+    // The campaign config goes through the SAME declarative JobSpec a
+    // daemon submission uses (examples/job_flags.h + campaign_from_job), so
+    // batch runs and daemon jobs of the same flags share their
+    // campaign_config_hash and produce byte-identical rows.
+    CampaignConfig campaign = campaign_from_job(parse_job_spec(args));
     campaign.trace_dir = trace_dir;
     if (!shard_flag.empty()) campaign.shard = parse_shard(shard_flag);
     StderrCampaignProgress progress;

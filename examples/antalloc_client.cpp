@@ -1,0 +1,186 @@
+// antalloc_client: submit campaign jobs to a running antalloc_daemon and
+// stream their live metric feeds (docs/SERVICE.md is the protocol guide).
+//
+//   antalloc_client submit --port=7077 --scenarios=task-churn --algos=ant \
+//       --gamma=0.05 --replicates=4            # prints job_id=N
+//   antalloc_client watch --port=7077 --job=1  # live progress + final table
+//   antalloc_client fetch --port=7077 --job=1 --csv=out.csv
+//   antalloc_client submit --watch=true --csv=out.csv ...   # all in one
+//
+// submit shares its flag set (and the JobSpec construction behind it) with
+// antalloc_cli's campaign mode, so `submit` + `fetch --csv` produces a CSV
+// byte-identical to `antalloc_cli --campaign=true ... --csv` of the same
+// flags — the CI daemon smoke job cmp's the two.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "io/args.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "job_flags.h"
+
+using namespace antalloc;
+
+namespace {
+
+// Streams one subscription to completion: folds every frame, narrates
+// progress to stderr when verbose, and returns the assembler (done() true
+// unless the server reported an error). Exits via return code contract:
+// 0 = done ok, 3 = request error, 4 = job failed.
+int stream_feed(DaemonClient& client, FeedAssembler& fa, bool verbose) {
+  while (true) {
+    const Message m = client.recv();
+    if (const auto* err = std::get_if<ErrorMsg>(&m)) {
+      std::fprintf(stderr, "error %u: %s\n", err->code,
+                   err->message.c_str());
+      return 3;
+    }
+    if (const auto* snap = std::get_if<Snapshot>(&m); snap && verbose) {
+      std::fprintf(stderr,
+                   "[watch] job %llu snapshot: %zu/%llu cells folded, "
+                   "%lld replicates each\n",
+                   static_cast<unsigned long long>(snap->job_id),
+                   snap->cells.size(),
+                   static_cast<unsigned long long>(snap->cells_total),
+                   static_cast<long long>(snap->replicates));
+    }
+    if (const auto* prog = std::get_if<ProgressDelta>(&m); prog && verbose) {
+      std::fprintf(stderr,
+                   "[watch] cell %llu done  %llu/%llu cells, %llu in "
+                   "flight, %lld replicates, %llu steals\n",
+                   static_cast<unsigned long long>(prog->flat_index),
+                   static_cast<unsigned long long>(prog->cells_done),
+                   static_cast<unsigned long long>(prog->cells_total),
+                   static_cast<unsigned long long>(prog->cells_in_flight),
+                   static_cast<long long>(prog->replicates_done),
+                   static_cast<unsigned long long>(prog->steals));
+    }
+    if (fa.fold(m)) break;
+  }
+  const JobDone& done = *fa.job_done();
+  if (done.ok == 0) {
+    std::fprintf(stderr, "job %llu FAILED: %s\n",
+                 static_cast<unsigned long long>(done.job_id),
+                 done.error.c_str());
+    return 4;
+  }
+  if (!fa.verify()) {
+    std::fprintf(stderr,
+                 "job %llu: reassembled result does not match the server's "
+                 "checksum\n",
+                 static_cast<unsigned long long>(done.job_id));
+    return 4;
+  }
+  return 0;
+}
+
+// Shared tail of watch/fetch/submit --watch: table to stdout (verbose
+// modes), CSV to --csv when given.
+int emit_result(const FeedAssembler& fa, bool print_table,
+                const std::string& csv_path) {
+  const CampaignResult result = fa.result();
+  if (print_table) std::printf("%s\n", result.table().render().c_str());
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    out << result.to_csv();
+    if (!out.good()) {
+      std::fprintf(stderr, "error: could not write %s\n", csv_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "[csv written to %s]\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cmd;
+  if (argc >= 2 && argv[1][0] != '-') {
+    cmd = argv[1];
+    argv[1] = argv[0];  // shift so Args sees only flags
+    ++argv;
+    --argc;
+  }
+  Args args(argc, argv);
+  const std::string host = args.get_string("host", "127.0.0.1");
+  const auto port = args.get_int("port", 7077);
+  const bool help = args.get_bool("help", false);
+
+  if (cmd.empty() || help) {
+    std::printf("usage: antalloc_client <submit|watch|fetch> [flags]\n\n");
+    std::printf("submit  submit a campaign job (campaign-mode flags: "
+                "--scenarios, --algos, --n, --k, --demand, --noise, "
+                "--gamma, --rounds, --seed, --replicates, --metrics, ...); "
+                "prints job_id=N. --watch=true streams it to completion, "
+                "--csv=PATH saves the result.\n");
+    std::printf("watch   --job=N: subscribe, stream progress, print the "
+                "final table\n");
+    std::printf("fetch   --job=N: subscribe (snapshot replay if finished) "
+                "and write --csv=PATH\n");
+    std::printf("common: --host=%s --port=%lld\n", host.c_str(),
+                static_cast<long long>(port));
+    return cmd.empty() && !help ? 2 : 0;
+  }
+
+  try {
+    if (cmd == "submit") {
+      const bool watch = args.get_bool("watch", false);
+      const std::string csv_path = args.get_string("csv", "");
+      JobSpec job = parse_job_spec(args);
+      args.check_unknown();
+
+      DaemonClient client(host, static_cast<std::uint16_t>(port));
+      client.send(Message{SubmitJob{.job = std::move(job)}});
+      const Message reply = client.recv();
+      if (const auto* rejected = std::get_if<JobRejected>(&reply)) {
+        std::fprintf(stderr, "job rejected: %s\n", rejected->reason.c_str());
+        return 3;
+      }
+      const auto* accepted = std::get_if<JobAccepted>(&reply);
+      if (accepted == nullptr) {
+        std::fprintf(stderr, "unexpected reply to submit\n");
+        return 3;
+      }
+      std::printf("job_id=%llu config=%016llx cells=%llu replicates=%lld\n",
+                  static_cast<unsigned long long>(accepted->job_id),
+                  static_cast<unsigned long long>(accepted->config_hash),
+                  static_cast<unsigned long long>(accepted->total_cells),
+                  static_cast<long long>(accepted->replicates));
+      std::fflush(stdout);
+      if (!watch) return 0;
+
+      client.send(Message{Subscribe{.job_id = accepted->job_id}});
+      FeedAssembler fa;
+      const int rc = stream_feed(client, fa, /*verbose=*/true);
+      if (rc != 0) return rc;
+      return emit_result(fa, /*print_table=*/true, csv_path);
+    }
+
+    if (cmd == "watch" || cmd == "fetch") {
+      const auto job_id = args.get_int("job", 0);
+      const std::string csv_path = args.get_string("csv", "");
+      args.check_unknown();
+      if (job_id <= 0) {
+        std::fprintf(stderr, "error: %s requires --job=N\n", cmd.c_str());
+        return 2;
+      }
+      const bool verbose = cmd == "watch";
+      DaemonClient client(host, static_cast<std::uint16_t>(port));
+      client.send(
+          Message{Subscribe{.job_id = static_cast<std::uint64_t>(job_id)}});
+      FeedAssembler fa;
+      const int rc = stream_feed(client, fa, verbose);
+      if (rc != 0) return rc;
+      return emit_result(fa, /*print_table=*/verbose, csv_path);
+    }
+
+    std::fprintf(stderr, "unknown subcommand '%s' (submit|watch|fetch)\n",
+                 cmd.c_str());
+    return 2;
+  } catch (const ProtocolError& e) {
+    std::fprintf(stderr, "protocol error: %s\n", e.what());
+    return 5;
+  }
+}

@@ -1,0 +1,160 @@
+// The antalloc daemon: a long-running service that accepts campaign jobs
+// over the net/protocol.h wire format and streams live results to
+// subscribers — the ROADMAP's "many clients, one hot engine" shape.
+//
+// ## Architecture
+//
+// One poll(2) thread owns every socket: it accepts connections, validates
+// hellos, parses frames incrementally from non-blocking reads, and is the
+// single-threaded command core — every SubmitJob and Subscribe is handled
+// on it, in arrival order, with no locking between commands. Execution is
+// elsewhere: an accepted job is one submit() onto the process-global
+// work-stealing TaskGraph (parallel/task_graph.h), whose body is a plain
+// run_campaign of the config built from the wire spec. The daemon adds no
+// scheduling of its own, which is why a daemon-submitted job's
+// CampaignResult rows are byte-identical to a batch CLI run of the same
+// spec (tests/daemon_feed_test.cpp and the CI smoke job both cmp this).
+//
+// Publishing crosses back: executor threads fold cells, the job's JobFeed
+// (net/feed.h) encodes deltas and calls the server's FrameSink, which
+// frames the payload with the target connection's sequence number, appends
+// it to that connection's bounded output queue, and opportunistically
+// flushes. Lock order is feed mutex -> io mutex, never the reverse: the
+// poll thread takes the io mutex only for queue flushes and connection
+// table edits, and handles commands holding neither.
+//
+// ## Backpressure
+//
+// The daemon never blocks on a client. A connection whose unsent backlog
+// exceeds DaemonOptions::max_queue_bytes is EVICTED: counted, closed, and
+// dropped from every feed — the campaign and the other subscribers never
+// notice (tests/feed_stress_test.cpp pins this under TSan).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/feed.h"
+#include "net/protocol.h"
+#include "sim/campaign.h"
+
+namespace antalloc {
+
+// JobSpec -> the exact CampaignConfig (and so campaign_config_hash) a batch
+// run of the same spec builds: registry lookups for scenarios/algos/metrics,
+// noise_spec_from for the third axis. Throws std::invalid_argument on
+// anything unresolvable — the daemon turns that into a JobRejected.
+CampaignConfig campaign_from_job(const JobSpec& job);
+
+// Foreground-daemon signal handling: block SIGINT/SIGTERM in the calling
+// thread BEFORE DaemonServer::start() (spawned threads inherit the mask, so
+// no thread takes the default terminating action), then wait_for_termination
+// blocks until one arrives and returns it — the cue for a graceful stop().
+void block_termination_signals();
+int wait_for_termination();
+
+// The wire noise spec -> the in-process factory, with the SAME display name
+// the CLI builds ("sigmoid(lambda=0.200)", "adv(honest)", "exact") — the
+// name enters campaign_config_hash, so it must be character-identical.
+NoiseSpec noise_spec_from(const JobNoise& noise);
+
+struct DaemonOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral; read back via DaemonServer::port()
+  // Unsent-bytes bound per connection; crossing it evicts the connection.
+  std::size_t max_queue_bytes = 4u << 20;
+  // When > 0, shrink each connection's kernel send buffer (SO_SNDBUF) so
+  // backlog surfaces in the user-space queue — how the stress test makes a
+  // slow consumer hit max_queue_bytes with small payloads.
+  int send_buffer_bytes = 0;
+  int listen_backlog = 16;
+};
+
+class DaemonServer final : public FrameSink {
+ public:
+  explicit DaemonServer(DaemonOptions opts = {});
+  ~DaemonServer() override;  // stop()
+
+  DaemonServer(const DaemonServer&) = delete;
+  DaemonServer& operator=(const DaemonServer&) = delete;
+
+  // Binds, listens (loopback only), and starts the poll thread. Throws
+  // ProtocolIoError on any socket failure.
+  void start();
+
+  // Graceful shutdown: new jobs are rejected, running jobs drain, then the
+  // poll thread stops and every socket closes. Idempotent.
+  void stop();
+
+  // The bound port (after start()).
+  std::uint16_t port() const { return port_; }
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t jobs_accepted = 0;
+    std::uint64_t jobs_rejected = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+  // FrameSink: called by feeds from executor threads (and by the command
+  // core for replies). Frames the payload with the connection's next
+  // sequence number, queues, and flushes what the socket will take now.
+  Send send_message(std::uint64_t conn_id, MsgType type,
+                    std::span<const std::uint8_t> payload) override;
+
+ private:
+  struct Connection;
+  struct Job;
+
+  void poll_loop();
+  void accept_connections();
+  // Reads what is available, parses complete frames, dispatches commands.
+  // Returns false when the connection is done (EOF, damage, I/O error).
+  bool service_input(Connection& conn);
+  void handle_message(Connection& conn, const Message& m);
+  void handle_submit(Connection& conn, const SubmitJob& submit);
+  void handle_subscribe(Connection& conn, const Subscribe& sub);
+  // Queue + flush one reply to `conn` (command-core side of send_message).
+  void reply(Connection& conn, const Message& m);
+  // Flushes conn's queue as far as the socket allows. Caller holds
+  // io_mutex_. Returns false when the socket failed (connection is dead).
+  bool flush_locked(Connection& conn);
+  void close_connection(std::uint64_t conn_id);
+  void wake_poll();
+
+  DaemonOptions opts_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written
+  std::thread poll_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  // Connection table. Structure (insert/erase) changes only on the poll
+  // thread, but send_message reads entries from executor threads, so every
+  // access — including per-connection queue and sequence state — holds
+  // io_mutex_.
+  mutable std::mutex io_mutex_;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+
+  // Job table: owned by the command core; feeds outlive their campaign so
+  // late subscribers replay the final snapshot ("fetch").
+  mutable std::mutex jobs_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  std::size_t active_jobs_ = 0;
+  std::condition_variable jobs_drained_;
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace antalloc

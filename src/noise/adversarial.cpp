@@ -94,6 +94,23 @@ std::unique_ptr<GreyZoneAdversary> make_indistinguishable_adversary(
   return std::make_unique<IndistinguishableAdversary>(sign, gamma_ad);
 }
 
+std::unique_ptr<GreyZoneAdversary> make_named_adversary(const std::string& name,
+                                                        double gamma_ad) {
+  if (name == "honest") return make_honest_adversary();
+  if (name == "always-lack") return make_always_lack_adversary();
+  if (name == "always-overload") return make_always_overload_adversary();
+  if (name == "anti-gradient") return make_anti_gradient_adversary();
+  if (name == "alternating") return make_alternating_adversary();
+  if (name == "indist+") return make_indistinguishable_adversary(+1, gamma_ad);
+  if (name == "indist-") return make_indistinguishable_adversary(-1, gamma_ad);
+  throw std::invalid_argument("unknown adversary '" + name + "'");
+}
+
+std::vector<std::string> adversary_names() {
+  return {"honest",       "always-lack", "always-overload", "anti-gradient",
+          "alternating",  "indist+",     "indist-"};
+}
+
 AdversarialFeedback::AdversarialFeedback(
     double gamma_ad, std::unique_ptr<GreyZoneAdversary> adversary)
     : gamma_ad_(gamma_ad), adversary_(std::move(adversary)) {

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "noise/feedback_model.h"
 
@@ -54,6 +55,18 @@ std::unique_ptr<GreyZoneAdversary> make_alternating_adversary();
 // Both rules flip at the common absolute load L* = d + τ = d' − τ.
 std::unique_ptr<GreyZoneAdversary> make_indistinguishable_adversary(
     int sign, double gamma_ad);
+
+// Name-keyed factory over every adversary above — the registry entry point
+// the CLI's --adversary flag and the daemon's JobNoise both resolve through
+// (one resolver, so a wire spec and a flag build the same strategy). Names:
+// honest, always-lack, always-overload, anti-gradient, alternating, indist+,
+// indist- (the two indistinguishable worlds take gamma_ad; the rest ignore
+// it). Throws std::invalid_argument on an unknown name.
+std::unique_ptr<GreyZoneAdversary> make_named_adversary(const std::string& name,
+                                                        double gamma_ad);
+
+// The names make_named_adversary accepts, in documentation order.
+std::vector<std::string> adversary_names();
 
 class AdversarialFeedback final : public FeedbackModel {
  public:

@@ -304,6 +304,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
       u.cells_in_flight = started > done ? started - done : 0;
       u.replicates_done = replicates_done.load(std::memory_order_relaxed);
       u.steals = graph.steals() - steals_base;
+      u.cell = &cell;
       cfg.progress->on_cell_done(u);
     }
   };

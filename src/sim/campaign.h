@@ -62,6 +62,8 @@ struct ShardSpec {
   std::size_t count = 1;
 };
 
+struct CampaignCell;
+
 // Streaming campaign progress observer — the scheduling-side sibling of the
 // PR 5 metric observers. run_campaign invokes on_cell_done once per owned
 // cell, at the moment the cell's LAST replicate lands and its statistics
@@ -80,6 +82,12 @@ class CampaignProgress {
     std::size_t cells_in_flight = 0;  // >=1 replicate started, not yet folded
     std::int64_t replicates_done = 0; // replicates finished across all cells
     std::uint64_t steals = 0;         // executor steals since campaign start
+    // The cell that just folded, statistics final, legacy views filled.
+    // Valid only for the duration of the callback (it points into the
+    // result under construction) — copy what you need. Lets a streaming
+    // consumer (the daemon's live metric feed, net/feed.h) forward folded
+    // numbers without waiting for run_campaign to return.
+    const CampaignCell* cell = nullptr;
   };
   virtual ~CampaignProgress() = default;
   virtual void on_cell_done(const Update& update) = 0;

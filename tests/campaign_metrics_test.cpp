@@ -9,52 +9,17 @@
 #include <memory>
 
 #include "io/campaign_io.h"
-#include "noise/sigmoid.h"
 #include "sim/campaign.h"
+#include "testing_util.h"
 
 namespace antalloc {
 namespace {
 
 namespace fs = std::filesystem;
 
-CampaignConfig metric_matrix(std::vector<std::string> metric_selection) {
-  const DemandVector base({Count{60}, Count{40}});
-  CampaignConfig cfg;
-  for (const char* family : {"constant", "single-shock"}) {
-    ScenarioSpec spec;
-    spec.name = family;
-    spec.initial = InitialKind::kUniform;
-    cfg.scenarios.push_back(make_scenario(spec, base, 200));
-  }
-  cfg.algos = {AlgoConfig{.name = "ant", .gamma = 0.05},
-               AlgoConfig{.name = "trivial", .gamma = 0.05}};
-  cfg.noises = {{"sigmoid",
-                 [] { return std::make_unique<SigmoidFeedback>(1.0); }}};
-  cfg.n_ants = 400;
-  cfg.rounds = 200;
-  cfg.seed = 13;
-  cfg.replicates = 2;
-  cfg.metrics.names = std::move(metric_selection);
-  return cfg;
-}
-
-std::string make_temp_dir(const std::string& tag) {
-  const fs::path dir =
-      fs::temp_directory_path() / ("antalloc_metric_test_" + tag);
-  fs::remove_all(dir);
-  fs::create_directories(dir);
-  return dir.string();
-}
-
-void expect_stats_identical(const RunningStats& a, const RunningStats& b) {
-  const auto sa = a.state();
-  const auto sb = b.state();
-  EXPECT_EQ(sa.count, sb.count);
-  EXPECT_EQ(sa.mean, sb.mean);
-  EXPECT_EQ(sa.m2, sb.m2);
-  EXPECT_EQ(sa.min, sb.min);
-  EXPECT_EQ(sa.max, sb.max);
-}
+using test_util::expect_stats_identical;
+using test_util::make_temp_dir;
+using test_util::metric_matrix;
 
 TEST(CampaignMetrics, CellsCarryPerScalarStats) {
   const auto cfg =

@@ -20,32 +20,12 @@
 #include "parallel/thread_pool.h"
 #include "rng/splitmix.h"
 #include "sim/campaign.h"
+#include "testing_util.h"
 
 namespace antalloc {
 namespace {
 
-// A churn-family matrix: uneven per-cell cost (the lifecycle scenarios
-// re-plan at every change point) is exactly what work stealing reshuffles,
-// so identical numbers here mean scheduling really is result-free.
-CampaignConfig churn_matrix() {
-  const DemandVector base({Count{120}, Count{80}, Count{60}});
-  CampaignConfig cfg;
-  for (const char* family : {"task-churn", "constant"}) {
-    ScenarioSpec spec;
-    spec.name = family;
-    spec.initial = InitialKind::kUniform;
-    cfg.scenarios.push_back(make_scenario(spec, base, 300));
-  }
-  cfg.algos = {AlgoConfig{.name = "ant", .gamma = 0.05},
-               AlgoConfig{.name = "trivial", .gamma = 0.05}};
-  cfg.noises = {{"sigmoid",
-                 [] { return std::make_unique<SigmoidFeedback>(1.0); }}};
-  cfg.n_ants = 600;
-  cfg.rounds = 300;
-  cfg.seed = 42;
-  cfg.replicates = 4;
-  return cfg;
-}
+using test_util::churn_matrix;
 
 // The pre-work-stealing algorithm, from the public API: walk cells in flat
 // order, run replicates strictly one at a time IN ORDER on the calling

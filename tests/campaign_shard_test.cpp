@@ -10,36 +10,16 @@
 #include <set>
 
 #include "io/campaign_io.h"
-#include "noise/sigmoid.h"
 #include "sim/campaign.h"
+#include "testing_util.h"
 
 namespace antalloc {
 namespace {
 
 namespace fs = std::filesystem;
 
-// 2 scenarios x 3 algos x 1 noise = 6 cells: even under 3 shards, ragged
-// under 5 (6 % 5 = 1).
-CampaignConfig shard_matrix() {
-  const DemandVector base({Count{60}, Count{40}});
-  CampaignConfig cfg;
-  for (const char* family : {"constant", "single-shock"}) {
-    ScenarioSpec spec;
-    spec.name = family;
-    spec.initial = InitialKind::kUniform;
-    cfg.scenarios.push_back(make_scenario(spec, base, 200));
-  }
-  cfg.algos = {AlgoConfig{.name = "ant", .gamma = 0.05},
-               AlgoConfig{.name = "trivial", .gamma = 0.05},
-               AlgoConfig{.name = "sharp-threshold", .gamma = 0.05}};
-  cfg.noises = {{"sigmoid",
-                 [] { return std::make_unique<SigmoidFeedback>(1.0); }}};
-  cfg.n_ants = 400;
-  cfg.rounds = 200;
-  cfg.seed = 7;
-  cfg.replicates = 2;
-  return cfg;
-}
+using test_util::make_temp_dir;
+using test_util::shard_matrix;
 
 CampaignResult run_all_shards_merged(CampaignConfig cfg, std::size_t count) {
   std::vector<CampaignResult> shards;
@@ -98,14 +78,6 @@ void expect_bit_identical(const CampaignResult& a, const CampaignResult& b,
   }
   // And the rendered artifact is the same bytes.
   EXPECT_EQ(a.to_csv(), b.to_csv());
-}
-
-std::string make_temp_dir(const std::string& tag) {
-  const fs::path dir =
-      fs::temp_directory_path() / ("antalloc_shard_test_" + tag);
-  fs::remove_all(dir);
-  fs::create_directories(dir);
-  return dir.string();
 }
 
 TEST(ShardPartition, UnionIsDisjointAndComplete) {

@@ -9,29 +9,12 @@
 #include "noise/sigmoid.h"
 #include "parallel/thread_pool.h"
 #include "sim/campaign.h"
+#include "testing_util.h"
 
 namespace antalloc {
 namespace {
 
-CampaignConfig small_matrix() {
-  const DemandVector base({Count{120}, Count{80}});
-  CampaignConfig cfg;
-  for (const char* family : {"constant", "single-shock"}) {
-    ScenarioSpec spec;
-    spec.name = family;
-    spec.initial = InitialKind::kUniform;
-    cfg.scenarios.push_back(make_scenario(spec, base, 400));
-  }
-  cfg.algos = {AlgoConfig{.name = "ant", .gamma = 0.05},
-               AlgoConfig{.name = "trivial", .gamma = 0.05}};
-  cfg.noises = {{"sigmoid",
-                 [] { return std::make_unique<SigmoidFeedback>(1.0); }}};
-  cfg.n_ants = 800;
-  cfg.rounds = 400;
-  cfg.seed = 99;
-  cfg.replicates = 3;
-  return cfg;
-}
+using test_util::small_matrix;
 
 TEST(Campaign, MatrixShapeAndLabels) {
   auto cfg = small_matrix();

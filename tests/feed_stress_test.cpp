@@ -1,0 +1,180 @@
+// Feed backpressure under load (slow tier, run under TSan in CI): many
+// concurrent subscribers plus one deliberately slow consumer. The slow
+// consumer must be EVICTED — counted, closed, dropped from the feed — while
+// every fast subscriber still sees a complete, verifiable stream and the
+// campaign's numbers are untouched. The daemon never blocks on a client.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "sim/campaign.h"
+#include "testing_util.h"
+
+namespace antalloc {
+namespace {
+
+// A fat enough job that each snapshot replay carries real weight: 3 metric
+// families -> 7 scalars per cell, 4 cells. Small in compute, big on the
+// wire relative to the tiny queues below.
+JobSpec stress_job() {
+  JobSpec job;
+  job.scenarios = {"task-churn", "constant"};
+  job.algos = {JobAlgo{.name = "ant", .gamma = 0.05},
+               JobAlgo{.name = "trivial", .gamma = 0.05}};
+  job.noise = JobNoise{.kind = NoiseKind::kSigmoid, .lambda = 1.0};
+  job.demands = {Count{120}, Count{80}, Count{60}};
+  job.n_ants = 600;
+  job.rounds = 300;
+  job.seed = 42;
+  job.replicates = 4;
+  job.initial = InitialKind::kUniform;
+  job.metrics = {"regret", "convergence", "oscillation"};
+  return job;
+}
+
+// Subscribes on a fresh connection and drains the stream to JobDone.
+FeedAssembler stream_job(std::uint16_t port, std::uint64_t job_id) {
+  DaemonClient client("127.0.0.1", port);
+  client.send(Message{Subscribe{.job_id = job_id}});
+  FeedAssembler assembler;
+  while (!assembler.fold(client.recv())) {
+  }
+  return assembler;
+}
+
+TEST(FeedStress, SlowConsumerEvictedFastSubscribersComplete) {
+  // Tiny queues so backlog surfaces fast: ~8 KiB user-space bound, shrunken
+  // kernel buffers on both sides of the slow consumer's connection.
+  DaemonOptions opts;
+  opts.max_queue_bytes = 8u << 10;
+  opts.send_buffer_bytes = 4096;
+  DaemonServer server(opts);
+  server.start();
+
+  const JobSpec job = stress_job();
+  const CampaignResult offline = run_campaign(campaign_from_job(job));
+
+  // Submit and drain once so the job is finished: every later Subscribe
+  // replays the full snapshot, the heaviest single frame the feed sends.
+  std::uint64_t job_id = 0;
+  {
+    DaemonClient submitter("127.0.0.1", server.port());
+    submitter.send(Message{SubmitJob{.job = job}});
+    const Message reply = submitter.recv();
+    ASSERT_TRUE(std::holds_alternative<JobAccepted>(reply));
+    job_id = std::get<JobAccepted>(reply).job_id;
+    submitter.send(Message{Subscribe{.job_id = job_id}});
+    FeedAssembler a;
+    while (!a.fold(submitter.recv())) {
+    }
+    ASSERT_TRUE(a.verify());
+  }
+
+  // The slow consumer: a tiny receive window and NO reads, ever. It keeps
+  // requesting snapshot replays; the server queues them until the backlog
+  // crosses max_queue_bytes and evicts the connection. Once the server
+  // closes it, our sends start failing — either signal ends the loop.
+  {
+    DaemonClient::Options slow_opts;
+    slow_opts.recv_buffer_bytes = 2048;
+    DaemonClient slow("127.0.0.1", server.port(), slow_opts);
+    bool send_failed = false;
+    for (int i = 0; i < 2000 && server.stats().evictions == 0; ++i) {
+      try {
+        slow.send(Message{Subscribe{.job_id = job_id}});
+      } catch (const ProtocolError&) {
+        send_failed = true;
+        break;
+      }
+      if (i % 16 == 15) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    // Give the poll loop a beat to finish closing the connection.
+    for (int i = 0; i < 100 && server.stats().evictions == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(server.stats().evictions, 1u)
+        << "slow consumer was never evicted (send_failed=" << send_failed
+        << ")";
+  }
+
+  // After the eviction, fast subscribers are entirely unaffected: complete
+  // stream, verified checksum, numbers identical to the offline run.
+  std::vector<FeedAssembler> results(4);
+  std::vector<std::thread> fans;
+  const std::uint16_t port = server.port();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    fans.emplace_back([&results, i, port, job_id] {
+      results[i] = stream_job(port, job_id);
+    });
+  }
+  for (auto& t : fans) t.join();
+  for (const FeedAssembler& a : results) {
+    ASSERT_TRUE(a.done());
+    EXPECT_TRUE(a.verify());
+    EXPECT_EQ(a.result().to_csv(), offline.to_csv());
+  }
+  server.stop();
+}
+
+TEST(FeedStress, ManyConcurrentSubscribersOnLiveJobs) {
+  // Several jobs in flight, several subscribers per job, all racing the
+  // executor threads that publish deltas — the TSan-interesting shape.
+  DaemonServer server;
+  server.start();
+  const std::uint16_t port = server.port();
+
+  const JobSpec job = stress_job();
+  const CampaignResult offline = run_campaign(campaign_from_job(job));
+  const std::string expected_csv = offline.to_csv();
+
+  constexpr int kJobs = 3;
+  constexpr int kSubscribersPerJob = 3;
+
+  std::vector<std::uint64_t> job_ids;
+  DaemonClient submitter("127.0.0.1", port);
+  for (int j = 0; j < kJobs; ++j) {
+    submitter.send(Message{SubmitJob{.job = job}});
+    const Message reply = submitter.recv();
+    ASSERT_TRUE(std::holds_alternative<JobAccepted>(reply));
+    job_ids.push_back(std::get<JobAccepted>(reply).job_id);
+  }
+
+  std::vector<FeedAssembler> results(kJobs * kSubscribersPerJob);
+  std::vector<std::thread> fans;
+  for (int j = 0; j < kJobs; ++j) {
+    for (int s = 0; s < kSubscribersPerJob; ++s) {
+      const std::size_t slot = static_cast<std::size_t>(j) *
+                                   kSubscribersPerJob +
+                               static_cast<std::size_t>(s);
+      const std::uint64_t id = job_ids[static_cast<std::size_t>(j)];
+      fans.emplace_back(
+          [&results, slot, port, id] { results[slot] = stream_job(port, id); });
+    }
+  }
+  for (auto& t : fans) t.join();
+
+  // Same spec, same seeds: every subscription of every job reassembles the
+  // same bytes, all equal to the offline run.
+  for (const FeedAssembler& a : results) {
+    ASSERT_TRUE(a.done());
+    EXPECT_TRUE(a.verify());
+    EXPECT_EQ(a.result().to_csv(), expected_csv);
+  }
+  EXPECT_EQ(server.stats().jobs_accepted, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(server.stats().evictions, 0u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace antalloc
