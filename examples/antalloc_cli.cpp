@@ -41,6 +41,7 @@
 #include "parallel/task_graph.h"
 #include "sim/campaign.h"
 
+#include "fleet_modes.h"
 #include "job_flags.h"
 
 using namespace antalloc;
@@ -121,6 +122,8 @@ int main(int argc, char** argv) {
   const bool plot = args.get_bool("plot", true);
   const bool campaign_mode = args.get_bool("campaign", false);
   const auto serve_port = args.get_int("serve", -1);
+  const auto coordinate_port = args.get_int("coordinate", -1);
+  const std::string work_for = args.get_string("work-for", "");
   // Declared here for help()/check_unknown(); campaign mode re-reads them
   // through parse_job_spec (examples/job_flags.h).
   (void)args.get_string("scenarios", "all");
@@ -169,7 +172,38 @@ int main(int argc, char** argv) {
                 "completions to stderr\n");
     std::printf("service: --serve=PORT runs the daemon loop (0 = ephemeral "
                 "port; see docs/SERVICE.md and examples/antalloc_client)\n");
+    std::printf("fleet: --coordinate=PORT serves a worker fleet over this "
+                "process's campaign flags; --work-for=HOST:PORT joins one "
+                "(docs/FLEET.md)\n");
     return 0;
+  }
+
+  // Fleet modes (docs/FLEET.md) dispatch BEFORE check_unknown: they read
+  // their own extra flags (--journal, --name, ...) and check afterwards.
+  if (coordinate_port >= 0) {
+    try {
+      return run_coordinator_mode(args, static_cast<int>(coordinate_port));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!work_for.empty()) {
+    if (jobs >= 0) {
+      set_global_task_graph_threads(static_cast<std::size_t>(jobs));
+    }
+    const std::size_t colon = work_for.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "error: --work-for expects HOST:PORT\n");
+      return 2;
+    }
+    try {
+      return run_worker_mode(args, work_for.substr(0, colon),
+                             std::stoi(work_for.substr(colon + 1)));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
   }
   args.check_unknown();
 

@@ -1,0 +1,45 @@
+// antalloc_coordinator: the lease-granting half of a campaign fleet
+// (docs/FLEET.md). Owns one campaign — the ordinary campaign flag set —
+// leases its cells to antalloc_worker processes, folds results exactly
+// once as they land, and writes the merged CSV, byte-identical to a
+// single-process run of the same flags.
+//
+//   ./build/examples/antalloc_coordinator --port=7078 --scenarios=all \
+//       --algos=ant --replicates=4 --csv=merged.csv
+//   ./build/examples/antalloc_coordinator --port=7078 --journal=run.journal ...
+//
+// With --journal, every folded cell is flushed to a resumable journal: a
+// coordinator killed mid-campaign and restarted on the same journal
+// re-leases only the unfinished cells. `antalloc_client watch --job=1`
+// streams a fleet campaign live, exactly as it does a daemon job.
+#include <cstdio>
+#include <exception>
+
+#include "fleet_modes.h"
+#include "io/args.h"
+
+using namespace antalloc;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const auto port = args.get_int("port", 7078);
+  const bool help = args.get_bool("help", false);
+  if (help) {
+    std::printf("%s\n", args.help().c_str());
+    std::printf(
+        "Coordinates a worker fleet over one campaign (the usual campaign "
+        "flags: --scenarios, --algos, --n, --k, --demand, --noise, --gamma, "
+        "--rounds, --seed, --replicates, --metrics, ...). Listens on "
+        "127.0.0.1:<--port> (0 = ephemeral, printed). --journal=PATH makes "
+        "the run resumable; --csv=PATH saves the merged result; "
+        "--cells-per-lease, --min-deadline-ms and --straggler-factor tune "
+        "the lease/retry policy (docs/FLEET.md).\n");
+    return 0;
+  }
+  try {
+    return run_coordinator_mode(args, static_cast<int>(port));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

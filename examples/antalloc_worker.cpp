@@ -1,0 +1,43 @@
+// antalloc_worker: the computing half of a campaign fleet (docs/FLEET.md).
+// Connects to an antalloc_coordinator, leases cell ranges, runs them
+// through the ordinary campaign engine, and ships each cell the moment it
+// folds. Carries NO campaign flags: the grant's declarative spec rebuilds
+// the exact config (and the worker refuses a config-hash mismatch).
+//
+//   ./build/examples/antalloc_worker --port=7078
+//   ./build/examples/antalloc_worker --port=7078 --name=w2 --jobs=4
+//
+// Exits 0 when the coordinator reports the campaign complete. Killing a
+// worker mid-lease is safe by design — the coordinator reissues its cells.
+#include <cstdio>
+#include <exception>
+
+#include "fleet_modes.h"
+#include "io/args.h"
+#include "parallel/task_graph.h"
+
+using namespace antalloc;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::string host = args.get_string("host", "127.0.0.1");
+  const auto port = args.get_int("port", 7078);
+  const auto jobs = args.get_int("jobs", -1);
+  const bool help = args.get_bool("help", false);
+  if (help) {
+    std::printf("%s\n", args.help().c_str());
+    std::printf(
+        "Works for the coordinator at --host:--port until the campaign "
+        "completes. --name labels this worker in coordinator logs; --jobs "
+        "pins the executor width; --fail-after-cells=N simulates a crash "
+        "after shipping N cells (testing the retry path).\n");
+    return 0;
+  }
+  if (jobs >= 0) set_global_task_graph_threads(static_cast<std::size_t>(jobs));
+  try {
+    return run_worker_mode(args, host, static_cast<int>(port));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

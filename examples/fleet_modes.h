@@ -1,0 +1,139 @@
+// Shared drivers for the fleet binaries (docs/FLEET.md): the coordinator
+// foreground loop and the worker loop, each reachable two ways —
+// antalloc_coordinator / antalloc_worker as standalone binaries, and
+// antalloc_cli --coordinate=PORT / --work-for=HOST:PORT as modes of the
+// one-stop CLI. One implementation per role, so the flag sets and exit
+// codes cannot drift between the two spellings.
+//
+// The coordinator reads the SAME campaign flag set as every other
+// campaign entry point (examples/job_flags.h): a fleet run of
+// `--coordinate=PORT <campaign flags>` merges a CSV byte-identical to
+// `antalloc_cli --campaign=true <same flags>` — the CI fleet-smoke job
+// cmp's exactly that.
+#pragma once
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "io/args.h"
+#include "job_flags.h"
+#include "net/server.h"
+#include "orch/coordinator.h"
+#include "orch/worker.h"
+#include "parallel/task_graph.h"
+
+namespace antalloc {
+
+// Foreground coordinator: serve leases until the campaign merges (write the
+// result, exit 0) or SIGINT/SIGTERM (stop cleanly, exit 0 — with a journal
+// the next run resumes). Exit 4 = campaign failed (mismatched duplicate).
+inline int run_coordinator_mode(Args& args, int port) {
+  const std::string journal = args.get_string("journal", "");
+  const std::string csv_path = args.get_string("csv", "");
+  const auto cells_per_lease = args.get_int("cells-per-lease", 4);
+  const auto min_deadline_ms = args.get_int("min-deadline-ms", 30'000);
+  const double straggler_factor = args.get_double("straggler-factor", 4.0);
+  CoordinatorOptions opts;
+  opts.job = parse_job_spec(args);
+  args.check_unknown();
+
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "error: coordinator port must be in [0, 65535]\n");
+    return 2;
+  }
+  opts.port = static_cast<std::uint16_t>(port);
+  opts.journal_path = journal;
+  opts.lease.cells_per_lease = static_cast<std::size_t>(cells_per_lease);
+  opts.lease.min_deadline_ms = min_deadline_ms;
+  opts.lease.straggler_factor = straggler_factor;
+
+  block_termination_signals();  // before start(): threads inherit the mask
+  CoordinatorServer server(opts);
+  server.start();
+  std::printf("antalloc coordinator listening on 127.0.0.1:%u "
+              "(config %016llx, %lld cells)\n",
+              server.port(),
+              static_cast<unsigned long long>(server.config_hash()),
+              static_cast<long long>(server.total_cells()));
+  std::fflush(stdout);
+
+  // Two wake sources, one wait: a completion thread raises SIGTERM at
+  // itself-the-process when the campaign merges, so the signal wait below
+  // covers both natural completion and an operator's kill.
+  std::thread completion([&server] {
+    server.wait_done();
+    ::kill(::getpid(), SIGTERM);
+  });
+  wait_for_termination();
+  server.stop();  // terminal either way; unblocks wait_done on a real signal
+  completion.join();
+
+  const CoordinatorServer::Stats stats = server.stats();
+  std::fprintf(stderr,
+               "[coordinator] %llu leases granted, %llu expired, %llu "
+               "released, %llu cells folded (%llu recovered), %llu "
+               "duplicates verified\n",
+               static_cast<unsigned long long>(stats.leases_granted),
+               static_cast<unsigned long long>(stats.leases_expired),
+               static_cast<unsigned long long>(stats.leases_released),
+               static_cast<unsigned long long>(stats.cells_folded),
+               static_cast<unsigned long long>(stats.cells_recovered),
+               static_cast<unsigned long long>(stats.duplicates_verified));
+
+  const std::string err = server.error();
+  if (!err.empty()) {
+    const bool stopped = err.find("coordinator stopped") != std::string::npos;
+    std::fprintf(stderr, "[coordinator] %s\n", err.c_str());
+    return stopped ? 0 : 4;  // operator stop is a clean exit
+  }
+
+  const CampaignResult& result = server.result();
+  std::printf("%s\n", result.table().render().c_str());
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    out << result.to_csv();
+    if (!out.good()) {
+      std::fprintf(stderr, "error: could not write %s\n", csv_path.c_str());
+      return 2;
+    }
+    std::printf("[csv written to %s]\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+// Worker loop: lease, compute, ship, repeat until the done-grant. Exit 5 on
+// a lost or inconsistent coordinator.
+inline int run_worker_mode(Args& args, const std::string& host, int port) {
+  WorkerOptions opts;
+  opts.name = args.get_string("name", "worker");
+  opts.fail_after_cells =
+      static_cast<std::size_t>(args.get_int("fail-after-cells", 0));
+  args.check_unknown();
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "error: worker needs a coordinator port in "
+                         "[1, 65535]\n");
+    return 2;
+  }
+  try {
+    const WorkerReport report =
+        run_worker(host, static_cast<std::uint16_t>(port), opts);
+    std::printf("[worker %s] %llu leases completed, %llu revoked, %llu "
+                "cells shipped%s\n",
+                opts.name.c_str(),
+                static_cast<unsigned long long>(report.leases_completed),
+                static_cast<unsigned long long>(report.leases_revoked),
+                static_cast<unsigned long long>(report.cells_shipped),
+                report.died ? " (simulated death)" : "");
+    return 0;
+  } catch (const ProtocolError& e) {
+    std::fprintf(stderr, "[worker %s] protocol error: %s\n",
+                 opts.name.c_str(), e.what());
+    return 5;
+  }
+}
+
+}  // namespace antalloc

@@ -199,15 +199,7 @@ std::string rows_csv(const CampaignResult& result,
                      const std::vector<MetricScalar>& specs) {
   std::string out = rows_header(specs) + "\n";
   for (const CampaignCell& cell : result.cells) {
-    out += fmt_i64(static_cast<std::int64_t>(cell.flat_index)) + ",";
-    out += csv_escape(cell.scenario) + ",";
-    out += csv_escape(cell.algo) + ",";
-    out += csv_escape(cell.noise) + ",";
-    out += std::string(to_string(cell.engine));
-    for (const RunningStats& stats : cell.metric_stats) {
-      out += ',';
-      out += append_stats(stats);
-    }
+    out += encode_cell_row(cell, specs);
     out += "\n";
   }
   return out;
@@ -378,6 +370,115 @@ void attach_results(CampaignResult& shard, const std::string& content,
 }
 
 }  // namespace
+
+// Per-cell row codec. --------------------------------------------------------
+
+std::string shard_rows_header(const std::vector<MetricScalar>& specs) {
+  return rows_header(specs);
+}
+
+std::string encode_cell_row(const CampaignCell& cell,
+                            const std::vector<MetricScalar>& specs) {
+  if (cell.metric_stats.size() != specs.size()) {
+    throw std::invalid_argument(
+        "encode_cell_row: cell " + std::to_string(cell.flat_index) +
+        " carries " + std::to_string(cell.metric_stats.size()) +
+        " scalars, the layout has " + std::to_string(specs.size()));
+  }
+  std::string out = fmt_i64(static_cast<std::int64_t>(cell.flat_index)) + ",";
+  out += csv_escape(cell.scenario) + ",";
+  out += csv_escape(cell.algo) + ",";
+  out += csv_escape(cell.noise) + ",";
+  out += std::string(to_string(cell.engine));
+  for (const RunningStats& stats : cell.metric_stats) {
+    out += ',';
+    out += append_stats(stats);
+  }
+  return out;
+}
+
+CampaignCell parse_cell_row(const std::string& line,
+                            const std::vector<MetricScalar>& specs,
+                            const std::string& context) {
+  return parse_row(line, specs, context);
+}
+
+// CellJournal. ---------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kJournalFormatLine =
+    "format antalloc-campaign-journal-v1";
+
+}  // namespace
+
+CellJournal::CellJournal(std::string path, std::uint64_t config_hash,
+                         std::vector<std::string> metrics,
+                         std::size_t total_cells, std::int64_t replicates)
+    : path_(std::move(path)), specs_(metric_scalar_columns(metrics)) {
+  std::string header = std::string(kJournalFormatLine) + "\n";
+  header += "config_hash " + fmt_hex(config_hash) + "\n";
+  header += "total_cells " + std::to_string(total_cells) + "\n";
+  header += "replicates " + std::to_string(replicates) + "\n";
+  header += "metrics " + join_names(metrics) + "\n";
+  header += rows_header(specs_) + "\n";
+
+  std::string good = header;  // content to carry forward (header + rows)
+  if (fs::exists(path_)) {
+    const std::string content = read_file(path_);
+    if (content.size() < header.size() ||
+        content.compare(0, header.size(), header) != 0) {
+      // Identity mismatch or a torn header: this journal does not describe
+      // THIS campaign (or is unreadable). A torn header means nothing was
+      // durably recorded anyway, but a different campaign's journal must be
+      // refused loudly, never silently overwritten.
+      throw std::runtime_error(
+          path_ + ": existing journal does not match this campaign "
+          "(config hash, shape, or metric selection differ) — move it "
+          "aside or pass a fresh path");
+    }
+    std::istringstream in(content.substr(header.size()));
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(std::move(line));
+    }
+    // A crash can tear only the final line (appends are row-at-a-time,
+    // flushed): a parse failure there drops the row — the cell is simply
+    // recomputed — while damage anywhere else is corruption and throws.
+    const bool torn_tail =
+        !content.empty() && content.back() != '\n' && !lines.empty();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].empty()) continue;
+      try {
+        recovered_.push_back(parse_cell_row(lines[i], specs_, path_));
+      } catch (const std::runtime_error&) {
+        if (i + 1 == lines.size() && torn_tail) break;
+        throw;
+      }
+      if (recovered_.back().flat_index >= total_cells) {
+        throw std::runtime_error(
+            path_ + ": journaled cell " +
+            std::to_string(recovered_.back().flat_index) +
+            " out of range (total " + std::to_string(total_cells) + ")");
+      }
+      good += lines[i];
+      good += "\n";
+    }
+  }
+  // Rewrite header + every valid row, dropping any torn tail, then keep the
+  // file open for appends.
+  write_file(path_, good);
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) throw std::runtime_error("cannot open " + path_ + " for append");
+}
+
+void CellJournal::append(const CampaignCell& cell) {
+  out_ << encode_cell_row(cell, specs_) << "\n";
+  out_.flush();
+  if (!out_.good()) throw std::runtime_error("cannot append to " + path_);
+}
 
 std::string write_campaign_shard(const std::string& dir,
                                  const CampaignConfig& cfg,

@@ -42,6 +42,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <string>
 
 #include "sim/campaign.h"
@@ -98,5 +99,68 @@ struct MergedCampaign {
 // duplicate or missing shard indices; checksum mismatches. The merged
 // result is bit-identical to the unsharded run of the same config.
 MergedCampaign merge_campaign_dir(const std::string& dir);
+
+// Per-cell row codec. --------------------------------------------------------
+//
+// The v2 shard-row encoding exposed one cell at a time, for consumers that
+// persist or merge cells as they land (the fleet coordinator's incremental
+// merge and resumable journal, src/orch/) instead of whole shard files. A
+// row written by encode_cell_row parses back bit-identical through
+// parse_cell_row — the same %.17g / Welford-state guarantee as the shard
+// files, because it IS the shard files' row format.
+
+// The rows header for a scalar layout: "cell,scenario,algo,noise,engine"
+// plus "<scalar>_{count,mean,m2,min,max}" per selected scalar.
+std::string shard_rows_header(const std::vector<MetricScalar>& specs);
+
+// One folded cell as a v2 shard row (no trailing newline). Throws
+// std::invalid_argument when the cell's scalar count does not match `specs`.
+std::string encode_cell_row(const CampaignCell& cell,
+                            const std::vector<MetricScalar>& specs);
+
+// Parses one row back, legacy views filled. Throws std::runtime_error
+// (messages prefixed with `context`) on any malformed field.
+CampaignCell parse_cell_row(const std::string& line,
+                            const std::vector<MetricScalar>& specs,
+                            const std::string& context);
+
+// CellJournal: the coordinator's resumable manifest. ------------------------
+//
+// An append-only file of folded cells: a self-describing header (format
+// line, campaign_config_hash, total cells, replicates, metric selection,
+// rows header) followed by one encoded cell row per completed cell, flushed
+// as each is appended. A coordinator that crashes and restarts opens the
+// same path, recovers every durably appended cell, and re-leases ONLY the
+// missing ones — together with first-completion-wins folding this makes a
+// restart indistinguishable (bit-for-bit) from an uninterrupted run.
+//
+// Crash tolerance: because appends are row-at-a-time, the only damage a
+// crash can leave is a torn FINAL line; recovery drops it (that cell is
+// simply recomputed) but refuses mid-file damage or a header that names a
+// different campaign (config hash, shape, or metrics mismatch throws — a
+// stale journal must never seed another campaign's numbers).
+class CellJournal {
+ public:
+  // Opens (or resumes) the journal at `path`. On resume the header must
+  // match all four identity fields; recovered cells are parsed eagerly.
+  CellJournal(std::string path, std::uint64_t config_hash,
+              std::vector<std::string> metrics, std::size_t total_cells,
+              std::int64_t replicates);
+
+  // Cells recovered from a pre-existing file, in file order (empty for a
+  // fresh journal). Feed them to an IncrementalMerger before leasing.
+  std::vector<CampaignCell>& recovered() { return recovered_; }
+
+  // Appends one folded cell and flushes it to disk before returning.
+  void append(const CampaignCell& cell);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<MetricScalar> specs_;
+  std::vector<CampaignCell> recovered_;
+  std::ofstream out_;
+};
 
 }  // namespace antalloc

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 
 #include "metrics/convergence.h"
@@ -256,6 +257,117 @@ class OscillationMetric final : public Metric {
   std::vector<OscillationAccumulator> tasks_;
 };
 
+// "oscillation-per-task@K": the same per-task OscillationAccumulators as
+// the aggregate metric, but each task's statistics emitted as its own
+// "<scalar>.task<i>" columns instead of folded into task-order means/max.
+// The aggregate scalars are bit-reconstructable from these columns by the
+// identical arithmetic (sum the crossing rates in task order and divide by
+// k, running max of the maxima) — per_task_metric_test pins it.
+class PerTaskOscillationMetric final : public Metric {
+ public:
+  PerTaskOscillationMetric(const MetricContext& ctx, std::int32_t k)
+      : tasks_(static_cast<std::size_t>(k)) {
+    if (ctx.num_tasks != k) {
+      throw std::invalid_argument(
+          "oscillation-per-task@" + std::to_string(k) + " requires a " +
+          std::to_string(k) + "-task colony, this run has " +
+          std::to_string(ctx.num_tasks) + " tasks");
+    }
+  }
+
+  void on_round(const RoundView& view) override {
+    const DemandVector& demands = *view.demands;
+    for (std::int32_t j = 0; j < demands.num_tasks(); ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      tasks_[ju].add(demands[j] - view.loads[ju]);
+    }
+  }
+
+  void finish(std::vector<std::string>& names,
+              std::vector<double>& values) override {
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      const OscillationStats stats = tasks_[i].stats();
+      const std::string suffix = ".task" + std::to_string(i);
+      names.insert(names.end(), {"osc_crossing_rate" + suffix,
+                                 "osc_max_abs_deficit" + suffix,
+                                 "osc_mean_abs_deficit" + suffix});
+      values.insert(values.end(),
+                    {stats.crossing_rate(),
+                     static_cast<double>(stats.max_abs_deficit),
+                     stats.mean_abs_deficit});
+    }
+  }
+
+ private:
+  std::vector<OscillationAccumulator> tasks_;
+};
+
+// "convergence-per-task@K": the Theorem 3.1 band test applied to each task
+// alone — the same per-round arithmetic as ConvergenceAccumulator but with
+// the all-tasks conjunction dropped, so convergence_round.task<i> is when
+// task i itself entered its band. The joint accumulator's last_violation is
+// exactly max_i last_violation.task<i> (a joint violation IS some task's
+// violation), which per_task_metric_test pins.
+class PerTaskConvergenceMetric final : public Metric {
+ public:
+  PerTaskConvergenceMetric(const MetricContext& ctx, std::int32_t k)
+      : gamma_(ctx.gamma), tasks_(static_cast<std::size_t>(k)) {
+    if (ctx.num_tasks != k) {
+      throw std::invalid_argument(
+          "convergence-per-task@" + std::to_string(k) + " requires a " +
+          std::to_string(k) + "-task colony, this run has " +
+          std::to_string(ctx.num_tasks) + " tasks");
+    }
+  }
+
+  void on_round(const RoundView& view) override {
+    const DemandVector& demands = *view.demands;
+    for (std::int32_t j = 0; j < demands.num_tasks(); ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      TaskState& s = tasks_[ju];
+      const Count delta = demands[j] - view.loads[ju];
+      const double band =
+          5.0 * gamma_ * static_cast<double>(demands[j]) + 3.0;
+      const bool ok = std::abs(static_cast<double>(delta)) <= band;
+      if (ok && s.first_in_band < 0) s.first_in_band = view.t;
+      if (!ok) s.last_violation = view.t;
+      if (s.first_in_band >= 0) {
+        ++s.total_after_entry;
+        if (ok) ++s.inside_after_entry;
+      }
+    }
+  }
+
+  void finish(std::vector<std::string>& names,
+              std::vector<double>& values) override {
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      const TaskState& s = tasks_[i];
+      const std::string suffix = ".task" + std::to_string(i);
+      names.insert(names.end(), {"convergence_round" + suffix,
+                                 "last_violation" + suffix,
+                                 "band_occupancy" + suffix});
+      const double occupancy =
+          s.first_in_band >= 0 && s.total_after_entry > 0
+              ? static_cast<double>(s.inside_after_entry) /
+                    static_cast<double>(s.total_after_entry)
+              : 0.0;
+      values.insert(values.end(), {static_cast<double>(s.first_in_band),
+                                   static_cast<double>(s.last_violation),
+                                   occupancy});
+    }
+  }
+
+ private:
+  struct TaskState {
+    std::int64_t first_in_band = -1;
+    std::int64_t last_violation = 0;
+    std::int64_t inside_after_entry = 0;
+    std::int64_t total_after_entry = 0;
+  };
+  double gamma_;
+  std::vector<TaskState> tasks_;
+};
+
 struct MetricInfo {
   const char* name;
   const char* description;
@@ -327,6 +439,63 @@ const std::vector<MetricInfo>& registry() {
   return metrics;
 }
 
+// Parameterized per-task families: "<base>-per-task@K". Returns the base
+// ("oscillation" or "convergence") and K when `name` is a well-formed
+// per-task selection, nothing otherwise. K must be a positive integer with
+// no trailing garbage — "oscillation-per-task@0" or "@3x" are unknown
+// metrics, not silent surprises.
+struct PerTaskName {
+  enum class Base { kOscillation, kConvergence } base;
+  std::int32_t k = 0;
+};
+
+std::optional<PerTaskName> parse_per_task(const std::string& name) {
+  PerTaskName out;
+  std::string_view rest;
+  if (name.rfind("oscillation-per-task@", 0) == 0) {
+    out.base = PerTaskName::Base::kOscillation;
+    rest = std::string_view(name).substr(sizeof("oscillation-per-task@") - 1);
+  } else if (name.rfind("convergence-per-task@", 0) == 0) {
+    out.base = PerTaskName::Base::kConvergence;
+    rest = std::string_view(name).substr(sizeof("convergence-per-task@") - 1);
+  } else {
+    return std::nullopt;
+  }
+  if (rest.empty() || rest.size() > 4) return std::nullopt;
+  std::int32_t k = 0;
+  for (const char c : rest) {
+    if (c < '0' || c > '9') return std::nullopt;
+    k = k * 10 + (c - '0');
+  }
+  if (k < 1) return std::nullopt;
+  out.k = k;
+  return out;
+}
+
+std::vector<MetricScalar> per_task_scalars(const PerTaskName& p) {
+  std::vector<MetricScalar> out;
+  out.reserve(static_cast<std::size_t>(p.k) * 3);
+  for (std::int32_t i = 0; i < p.k; ++i) {
+    const std::string suffix = ".task" + std::to_string(i);
+    if (p.base == PerTaskName::Base::kOscillation) {
+      out.push_back({"osc_crossing_rate" + suffix,
+                     "osc_crossing_rate" + suffix + "_mean", 5});
+      out.push_back({"osc_max_abs_deficit" + suffix,
+                     "osc_max_abs_deficit" + suffix + "_mean", 7});
+      out.push_back({"osc_mean_abs_deficit" + suffix,
+                     "osc_mean_abs_deficit" + suffix + "_mean", 4});
+    } else {
+      out.push_back({"convergence_round" + suffix,
+                     "convergence_round" + suffix + "_mean", 7});
+      out.push_back({"last_violation" + suffix,
+                     "last_violation" + suffix + "_mean", 7});
+      out.push_back({"band_occupancy" + suffix,
+                     "band_occupancy" + suffix + "_mean", 5});
+    }
+  }
+  return out;
+}
+
 const MetricInfo& find_metric_info(const std::string& name) {
   for (const MetricInfo& info : registry()) {
     if (name == info.name) return info;
@@ -336,8 +505,9 @@ const MetricInfo& find_metric_info(const std::string& name) {
     if (!known.empty()) known += ", ";
     known += info.name;
   }
-  throw std::invalid_argument("unknown metric '" + name + "' (registered: " +
-                              known + ")");
+  throw std::invalid_argument(
+      "unknown metric '" + name + "' (registered: " + known +
+      "; per-task variants: oscillation-per-task@K, convergence-per-task@K)");
 }
 
 }  // namespace
@@ -350,17 +520,26 @@ std::vector<std::string> metric_names() {
 }
 
 bool has_metric(const std::string& name) {
+  if (parse_per_task(name).has_value()) return true;
   for (const MetricInfo& info : registry()) {
     if (name == info.name) return true;
   }
   return false;
 }
 
-std::string_view metric_description(const std::string& name) {
+std::string metric_description(const std::string& name) {
+  if (const auto p = parse_per_task(name)) {
+    const bool osc = p->base == PerTaskName::Base::kOscillation;
+    return std::string(osc ? "per-task oscillation statistics"
+                           : "per-task Theorem 3.1 band statistics") +
+           " for a " + std::to_string(p->k) +
+           "-task colony, one <scalar>.task<i> column set per task";
+  }
   return find_metric_info(name).description;
 }
 
-const std::vector<MetricScalar>& metric_scalars(const std::string& name) {
+std::vector<MetricScalar> metric_scalars(const std::string& name) {
+  if (const auto p = parse_per_task(name)) return per_task_scalars(*p);
   return find_metric_info(name).scalars;
 }
 
@@ -374,7 +553,9 @@ std::vector<std::string> resolve_metric_names(
   std::vector<std::string> resolved;
   resolved.reserve(names.size());
   for (const std::string& name : names) {
-    find_metric_info(name);  // throws on unknown
+    if (!parse_per_task(name).has_value()) {
+      find_metric_info(name);  // throws on unknown
+    }
     for (const std::string& prev : resolved) {
       if (prev == name) {
         throw std::invalid_argument("duplicate metric '" + name +
@@ -390,7 +571,7 @@ std::vector<MetricScalar> metric_scalar_columns(
     const std::vector<std::string>& names) {
   std::vector<MetricScalar> columns;
   for (const std::string& name : resolve_metric_names(names)) {
-    const std::vector<MetricScalar>& scalars = metric_scalars(name);
+    const std::vector<MetricScalar> scalars = metric_scalars(name);
     columns.insert(columns.end(), scalars.begin(), scalars.end());
   }
   return columns;
@@ -398,6 +579,12 @@ std::vector<MetricScalar> metric_scalar_columns(
 
 std::unique_ptr<Metric> make_metric(const std::string& name,
                                     const MetricContext& ctx) {
+  if (const auto p = parse_per_task(name)) {
+    if (p->base == PerTaskName::Base::kOscillation) {
+      return std::make_unique<PerTaskOscillationMetric>(ctx, p->k);
+    }
+    return std::make_unique<PerTaskConvergenceMetric>(ctx, p->k);
+  }
   return find_metric_info(name).make(ctx);
 }
 

@@ -126,17 +126,33 @@ struct MetricScalar {
 };
 
 // Registry (static table in metric.cpp, mirroring algo/scenario). ----------
+//
+// Besides the fixed table, two PARAMETERIZED families are recognized:
+// "oscillation-per-task@K" and "convergence-per-task@K" (K >= 1 the task
+// count) emit each task's statistics as separate "<scalar>.task<i>"
+// columns instead of the task-aggregated scalars. K lives in the NAME so
+// every downstream layer — campaign_config_hash, shard manifests, the wire
+// metric lists, scalar_columns — derives the column set from the name
+// alone; the factory refuses a run whose colony has a different task count.
+// The per-task values are exact decompositions of the aggregates:
+// oscillation's aggregate scalars are bit-reconstructable from the per-task
+// columns by the same task-order arithmetic, and convergence's joint
+// last_violation is the max of the per-task ones (per_task_metric_test pins
+// both).
 
-// Registered metric names, in registration order.
+// Registered metric names, in registration order (the fixed table only —
+// parameterized names are accepted by the functions below, not listed).
 std::vector<std::string> metric_names();
 bool has_metric(const std::string& name);
 
 // One-line description (CLI --list-metrics); throws std::invalid_argument
 // on unknown names.
-std::string_view metric_description(const std::string& name);
+std::string metric_description(const std::string& name);
 
 // The scalars `name` emits, in emission order; throws on unknown names.
-const std::vector<MetricScalar>& metric_scalars(const std::string& name);
+// By value: parameterized per-task selections compute their column sets
+// from the name's K.
+std::vector<MetricScalar> metric_scalars(const std::string& name);
 
 // The selection every run uses when none is given: exactly the statistics
 // the pre-registry SimResult/campaign hardcoded ("regret", "violations",

@@ -93,6 +93,10 @@ DaemonClient::DaemonClient(const std::string& host, std::uint16_t port,
 
 DaemonClient::~DaemonClient() { close(); }
 
+void DaemonClient::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 void DaemonClient::close() {
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;

@@ -41,6 +41,12 @@ class DaemonClient {
   // Blocks until one complete frame arrives; decodes and seq-checks it.
   Message recv();
 
+  // Half-closes both directions WITHOUT releasing the descriptor: a recv()
+  // blocked in another thread returns immediately (EOF), which is how a
+  // multi-threaded caller (the fleet worker's watcher, src/orch/worker.cpp)
+  // unblocks its reader before joining it. close() still owns the fd.
+  void shutdown();
+
   void close();
 
  private:

@@ -317,6 +317,26 @@ struct PayloadEncoder {
     w.u32(m.code);
     w.str(m.message);
   }
+  void operator()(const LeaseRequest& m) { w.str(m.worker); }
+  void operator()(const LeaseGrant& m) {
+    w.u64(m.lease_id);
+    w.u64(m.config_hash);
+    w.u64(m.first_cell);
+    w.u64(m.cell_count);
+    w.u64(m.deadline_ms);
+    w.u8(m.done);
+    encode_job(w, m.job);
+  }
+  void operator()(const CellResult& m) {
+    w.u64(m.lease_id);
+    w.u64(m.config_hash);
+    encode_cell(w, m.cell);
+  }
+  void operator()(const LeaseRevoked& m) {
+    w.u64(m.lease_id);
+    w.str(m.reason);
+  }
+  void operator()(const CancelJob& m) { w.u64(m.job_id); }
 };
 
 Message decode_payload(MsgType type, ByteReader& r) {
@@ -382,6 +402,34 @@ Message decode_payload(MsgType type, ByteReader& r) {
       m.message = r.str();
       return m;
     }
+    case MsgType::kLeaseRequest:
+      return LeaseRequest{r.str()};
+    case MsgType::kLeaseGrant: {
+      LeaseGrant m;
+      m.lease_id = r.u64();
+      m.config_hash = r.u64();
+      m.first_cell = r.u64();
+      m.cell_count = r.u64();
+      m.deadline_ms = r.u64();
+      m.done = r.u8();
+      m.job = decode_job(r);
+      return m;
+    }
+    case MsgType::kCellResult: {
+      CellResult m;
+      m.lease_id = r.u64();
+      m.config_hash = r.u64();
+      m.cell = decode_cell(r);
+      return m;
+    }
+    case MsgType::kLeaseRevoked: {
+      LeaseRevoked m;
+      m.lease_id = r.u64();
+      m.reason = r.str();
+      return m;
+    }
+    case MsgType::kCancelJob:
+      return CancelJob{r.u64()};
   }
   throw ProtocolUnknownTypeError("unknown frame type " +
                                  std::to_string(static_cast<std::uint32_t>(
@@ -473,7 +521,7 @@ Frame decode_frame(std::span<const std::uint8_t> buf, std::size_t* consumed) {
 Message decode_message(const Frame& frame) {
   const std::uint32_t raw = static_cast<std::uint32_t>(frame.header.type);
   if (raw < 1 ||
-      raw > static_cast<std::uint32_t>(MsgType::kError)) {
+      raw > static_cast<std::uint32_t>(MsgType::kCancelJob)) {
     throw ProtocolUnknownTypeError("unknown frame type " +
                                    std::to_string(raw));
   }

@@ -92,6 +92,13 @@ enum class MsgType : std::uint32_t {
   kProgressDelta = 7,
   kJobDone = 8,
   kError = 9,
+  // Fleet orchestration (src/orch/): worker <-> coordinator.
+  kLeaseRequest = 10,
+  kLeaseGrant = 11,
+  kCellResult = 12,
+  kLeaseRevoked = 13,
+  // Daemon job control.
+  kCancelJob = 14,
 };
 
 // Errors. --------------------------------------------------------------------
@@ -352,9 +359,69 @@ struct ErrorMsg {
   std::string message;
 };
 
+// Fleet orchestration messages (src/orch/). ----------------------------------
+//
+// A worker asks the coordinator for work; the coordinator answers with a
+// lease over a contiguous range of the campaign's flat cell space. Completed
+// cells travel back as CellUpdate bodies (the same Welford-state encoding
+// the feed uses), keyed on campaign_config_hash + flat index so the
+// coordinator can fold exactly once no matter how many times a cell is
+// reissued and recomputed.
+
+// Worker -> coordinator: "give me work". `worker` is a display identity for
+// logs and lease bookkeeping only; it carries no authority.
+struct LeaseRequest {
+  std::string worker;
+};
+
+// Coordinator -> worker: a lease over cells [first_cell, first_cell +
+// cell_count) of the campaign whose full declarative spec rides along (the
+// worker is stateless — it rebuilds the exact CampaignConfig, and its
+// campaign_config_hash must equal config_hash or the worker refuses).
+// deadline_ms is informational: the coordinator reissues the cells after
+// that many milliseconds, so a worker past it may be racing a replacement.
+// done=1 means the campaign is complete (or cancelled) and the worker
+// should exit; every other field is zero in that case.
+struct LeaseGrant {
+  std::uint64_t lease_id = 0;
+  std::uint64_t config_hash = 0;
+  std::uint64_t first_cell = 0;
+  std::uint64_t cell_count = 0;
+  std::uint64_t deadline_ms = 0;
+  std::uint8_t done = 0;
+  JobSpec job;
+};
+
+// Worker -> coordinator: one folded cell of a leased range. The coordinator
+// folds the FIRST completion of each flat index and verifies any later
+// duplicate byte-equal (same RunningStats::State bits) before dropping it —
+// a retry can never change a number, only confirm one.
+struct CellResult {
+  std::uint64_t lease_id = 0;
+  std::uint64_t config_hash = 0;
+  CellUpdate cell;
+};
+
+// Coordinator -> worker: the lease expired (straggler past deadline) or the
+// campaign no longer needs its cells; the worker should stop computing them
+// (cooperatively, at the next cell boundary) and request a fresh lease.
+struct LeaseRevoked {
+  std::uint64_t lease_id = 0;
+  std::string reason;
+};
+
+// Client -> daemon: request cooperative cancellation of a running job. The
+// daemon sets the job's cancel flag; run_campaign observes it at cell/
+// replicate boundaries and the job finishes as failed ("cancelled") through
+// the normal feed path (JobDone ok=0). Unknown job id -> ErrorMsg 404.
+struct CancelJob {
+  std::uint64_t job_id = 0;
+};
+
 using Message = std::variant<SubmitJob, JobAccepted, JobRejected, Subscribe,
                              Snapshot, MetricDelta, ProgressDelta, JobDone,
-                             ErrorMsg>;
+                             ErrorMsg, LeaseRequest, LeaseGrant, CellResult,
+                             LeaseRevoked, CancelJob>;
 
 MsgType message_type(const Message& m);
 

@@ -181,6 +181,10 @@ struct DaemonServer::Job {
 
   CampaignConfig config;
   JobFeed feed;
+  // Cooperative cancellation (CancelJob): config.cancel points here, so
+  // run_campaign stops at the next cell boundary and the job finishes as
+  // failed ("cancelled") through the normal feed path.
+  std::atomic<bool> cancel{false};
 };
 
 // Lifecycle. -----------------------------------------------------------------
@@ -418,22 +422,29 @@ void DaemonServer::accept_connections() {
 }
 
 bool DaemonServer::service_input(Connection& conn) {
+  // Drain first, parse second: a client's last frames and its FIN can land
+  // in the same poll event (send + immediate close), and those frames must
+  // still be handled before the connection is declared gone.
+  bool open = true;
   std::uint8_t buf[64 * 1024];
-  while (true) {
+  while (open) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn.inbuf.insert(conn.inbuf.end(), buf, buf + n);
       continue;
     }
-    if (n == 0) return false;  // EOF
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    return false;
+    if (n == 0) {
+      open = false;  // EOF — after the buffered frames are handled
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else if (errno != EINTR) {
+      open = false;
+    }
   }
 
   try {
     if (!conn.hello_ok) {
-      if (conn.inbuf.size() - conn.in_head < kHelloBytes) return true;
+      if (conn.inbuf.size() - conn.in_head < kHelloBytes) return open;
       check_hello(std::span<const std::uint8_t>(conn.inbuf)
                       .subspan(conn.in_head, kHelloBytes));
       conn.in_head += kHelloBytes;
@@ -461,7 +472,7 @@ bool DaemonServer::service_input(Connection& conn) {
                          static_cast<std::ptrdiff_t>(conn.in_head));
     conn.in_head = 0;
   }
-  return true;
+  return open;
 }
 
 // Command core (poll thread). ------------------------------------------------
@@ -471,6 +482,8 @@ void DaemonServer::handle_message(Connection& conn, const Message& m) {
     handle_submit(conn, *submit);
   } else if (const auto* sub = std::get_if<Subscribe>(&m)) {
     handle_subscribe(conn, *sub);
+  } else if (const auto* cancel = std::get_if<CancelJob>(&m)) {
+    handle_cancel(conn, *cancel);
   } else {
     reply(conn, Message{ErrorMsg{
                     .code = 405,
@@ -510,6 +523,7 @@ void DaemonServer::handle_submit(Connection& conn, const SubmitJob& submit) {
     job = std::make_shared<Job>(this, job_id, hash, total_cells,
                                 std::move(cfg), std::move(metrics));
     job->config.progress = &job->feed;
+    job->config.cancel = &job->cancel;
     jobs_.emplace(job_id, job);
     ++active_jobs_;
   }
@@ -560,6 +574,25 @@ void DaemonServer::handle_subscribe(Connection& conn, const Subscribe& sub) {
     return;
   }
   job->feed.subscribe(conn.id);
+}
+
+void DaemonServer::handle_cancel(Connection& conn, const CancelJob& cancel) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    auto it = jobs_.find(cancel.job_id);
+    if (it != jobs_.end()) job = it->second;
+  }
+  if (job == nullptr) {
+    reply(conn, Message{ErrorMsg{.code = 404,
+                                 .message = "unknown job id " +
+                                            std::to_string(cancel.job_id)}});
+    return;
+  }
+  // No success ack: cancellation is observed through the feed — the job
+  // finishes as JobDone ok=0 ("campaign cancelled …") once run_campaign
+  // drains. Cancelling a finished job is a harmless no-op.
+  job->cancel.store(true);
 }
 
 void DaemonServer::reply(Connection& conn, const Message& m) {

@@ -121,6 +121,7 @@ class DaemonServer final : public FrameSink {
   void handle_message(Connection& conn, const Message& m);
   void handle_submit(Connection& conn, const SubmitJob& submit);
   void handle_subscribe(Connection& conn, const Subscribe& sub);
+  void handle_cancel(Connection& conn, const CancelJob& cancel);
   // Queue + flush one reply to `conn` (command-core side of send_message).
   void reply(Connection& conn, const Message& m);
   // Flushes conn's queue as far as the socket allows. Caller holds

@@ -1,0 +1,213 @@
+#include "orch/worker.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "net/client.h"
+#include "net/feed.h"
+#include "net/server.h"
+
+namespace antalloc {
+
+namespace {
+
+// Shared between the main loop, the watcher thread, and the progress
+// shipper on executor threads.
+struct WorkerState {
+  DaemonClient* client = nullptr;
+  std::mutex send_mutex;  // client->send from main loop AND executor threads
+
+  // Mailbox: frames the watcher received that the main loop must act on
+  // (grants, errors). Revocations never enter it — the watcher applies them
+  // to the cancel flag directly, which is the whole reason it exists.
+  std::mutex mail_mutex;
+  std::condition_variable mail_cv;
+  std::deque<Message> mail;
+  bool closed = false;  // the watcher's recv loop ended
+
+  std::atomic<std::uint64_t> current_lease{0};
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> dying{false};  // fail_after_cells triggered
+  std::atomic<std::uint64_t> revoked{0};
+
+  void push_mail(Message m) {
+    {
+      std::lock_guard<std::mutex> lock(mail_mutex);
+      mail.push_back(std::move(m));
+    }
+    mail_cv.notify_all();
+  }
+
+  void mark_closed() {
+    {
+      std::lock_guard<std::mutex> lock(mail_mutex);
+      closed = true;
+    }
+    mail_cv.notify_all();
+  }
+
+  // Next mailbox message; std::nullopt once the connection is gone and the
+  // mailbox is drained.
+  std::optional<Message> wait_mail() {
+    std::unique_lock<std::mutex> lock(mail_mutex);
+    mail_cv.wait(lock, [this] { return !mail.empty() || closed; });
+    if (mail.empty()) return std::nullopt;
+    Message m = std::move(mail.front());
+    mail.pop_front();
+    return m;
+  }
+};
+
+// The connection's only reader. LeaseRevoked for the lease being computed
+// turns into the cooperative cancel flag; everything else queues for the
+// main loop.
+void watch_connection(WorkerState& state) {
+  try {
+    while (true) {
+      Message m = state.client->recv();
+      if (const auto* revoked = std::get_if<LeaseRevoked>(&m)) {
+        if (revoked->lease_id == state.current_lease.load()) {
+          state.revoked.fetch_add(1);
+          state.cancel.store(true);
+        }
+        continue;  // stale revocation of a lease already finished: ignore
+      }
+      state.push_mail(std::move(m));
+    }
+  } catch (const ProtocolError&) {
+    // EOF, shutdown(), or damage — either way this stream is over; the main
+    // loop finds out through the closed mailbox.
+  }
+  state.mark_closed();
+}
+
+// CampaignProgress that ships each folded cell immediately. Callbacks are
+// serialized by the campaign but arrive on executor threads.
+class CellShipper final : public CampaignProgress {
+ public:
+  CellShipper(WorkerState& state, std::uint64_t lease_id,
+              std::uint64_t config_hash, const WorkerOptions& opts,
+              std::uint64_t* shipped)
+      : state_(state),
+        lease_id_(lease_id),
+        config_hash_(config_hash),
+        opts_(opts),
+        shipped_(shipped) {}
+
+  void on_cell_done(const Update& update) override {
+    if (update.cell == nullptr || state_.dying.load()) return;
+    CellResult res;
+    res.lease_id = lease_id_;
+    res.config_hash = config_hash_;
+    res.cell = cell_update_from(*update.cell);
+    try {
+      std::lock_guard<std::mutex> lock(state_.send_mutex);
+      state_.client->send(Message{std::move(res)});
+    } catch (const ProtocolError&) {
+      // Coordinator gone mid-ship: stop the run cooperatively; the main
+      // loop surfaces the dead connection. Never throw through the
+      // campaign's fold path.
+      state_.cancel.store(true);
+      return;
+    }
+    ++*shipped_;
+    if (opts_.fail_after_cells > 0 && *shipped_ >= opts_.fail_after_cells) {
+      // Simulated death: stop computing NOW and leave the lease unfinished.
+      state_.dying.store(true);
+      state_.cancel.store(true);
+    }
+  }
+
+ private:
+  WorkerState& state_;
+  const std::uint64_t lease_id_;
+  const std::uint64_t config_hash_;
+  const WorkerOptions& opts_;
+  std::uint64_t* shipped_;
+};
+
+}  // namespace
+
+WorkerReport run_worker(const std::string& host, std::uint16_t port,
+                        const WorkerOptions& opts) {
+  DaemonClient client(host, port);
+  WorkerState state;
+  state.client = &client;
+  std::thread watcher([&state] { watch_connection(state); });
+
+  WorkerReport report;
+  try {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(state.send_mutex);
+        client.send(Message{LeaseRequest{.worker = opts.name}});
+      }
+
+      // Await the grant; anything else in the mailbox is a protocol breach
+      // (feeds never target a worker — it subscribed to nothing).
+      std::optional<Message> m = state.wait_mail();
+      if (!m.has_value()) {
+        throw ProtocolIoError("coordinator connection lost");
+      }
+      if (const auto* err = std::get_if<ErrorMsg>(&*m)) {
+        throw ProtocolError("coordinator error " + std::to_string(err->code) +
+                            ": " + err->message);
+      }
+      const auto* grant = std::get_if<LeaseGrant>(&*m);
+      if (grant == nullptr) {
+        throw ProtocolError("expected LeaseGrant, got message type " +
+                            std::to_string(static_cast<std::uint32_t>(
+                                message_type(*m))));
+      }
+      if (grant->done != 0) break;  // campaign complete — nothing to do
+
+      // Stateless rebuild + verification: the numbers this worker is about
+      // to contribute must come from the campaign the coordinator merges.
+      CampaignConfig cfg = campaign_from_job(grant->job);
+      if (campaign_config_hash(cfg) != grant->config_hash) {
+        throw ProtocolError(
+            "lease grant config hash mismatch: coordinator and worker "
+            "disagree on the campaign (version skew?)");
+      }
+      cfg.shard.cells.resize(grant->cell_count);
+      std::iota(cfg.shard.cells.begin(), cfg.shard.cells.end(),
+                static_cast<std::size_t>(grant->first_cell));
+      cfg.pool = opts.pool;
+
+      state.cancel.store(false);
+      state.current_lease.store(grant->lease_id);
+      CellShipper shipper(state, grant->lease_id, grant->config_hash, opts,
+                          &report.cells_shipped);
+      cfg.progress = &shipper;
+      cfg.cancel = &state.cancel;
+
+      try {
+        run_campaign(cfg);
+        ++report.leases_completed;
+      } catch (const CampaignCancelledError&) {
+        if (state.dying.load()) break;  // simulated death, lease abandoned
+        ++report.leases_revoked;        // revoked: ask for fresh work
+      }
+      state.current_lease.store(0);
+    }
+  } catch (...) {
+    client.shutdown();
+    watcher.join();
+    throw;
+  }
+
+  // Clean exit (done-grant or simulated death): drop the connection — for a
+  // death that IS the observable event the coordinator reacts to.
+  client.shutdown();
+  watcher.join();
+  report.died = state.dying.load();
+  return report;
+}
+
+}  // namespace antalloc

@@ -1,5 +1,6 @@
 #include "sim/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <filesystem>
@@ -18,6 +19,18 @@ namespace antalloc {
 namespace {
 
 void validate_shard(const ShardSpec& shard) {
+  if (!shard.cells.empty()) {
+    // Explicit ownership: the list must be strictly ascending so membership
+    // is a binary search and two lists describe the same set iff they are
+    // byte-equal.
+    for (std::size_t i = 1; i < shard.cells.size(); ++i) {
+      if (shard.cells[i] <= shard.cells[i - 1]) {
+        throw std::invalid_argument(
+            "ShardSpec: explicit cells must be strictly ascending");
+      }
+    }
+    return;
+  }
   if (shard.count == 0) {
     throw std::invalid_argument("ShardSpec: count >= 1");
   }
@@ -256,6 +269,13 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   std::mutex progress_mutex;
 
   const TaskGraph::IndexFn body = [&](std::int64_t ti) {
+    // Cooperative cancellation, checked at every replicate boundary: once
+    // the flag reads true, remaining tasks drain as no-ops (their slots stay
+    // empty and on_done suppresses the fold).
+    if (cfg.cancel != nullptr &&
+        cfg.cancel->load(std::memory_order_relaxed)) {
+      return;
+    }
     const std::size_t ci = static_cast<std::size_t>(ti / reps);
     const std::int64_t rep = ti % reps;
     if (!tracks[ci].started.exchange(true, std::memory_order_relaxed)) {
@@ -270,6 +290,12 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     const std::size_t ci = static_cast<std::size_t>(ti / reps);
     replicates_done.fetch_add(1, std::memory_order_relaxed);
     if (tracks[ci].remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      return;
+    }
+    // After a cancellation some of this cell's slots were never written —
+    // folding them would produce numbers no complete run ever computes.
+    if (cfg.cancel != nullptr &&
+        cfg.cancel->load(std::memory_order_relaxed)) {
       return;
     }
     // Last replicate of this cell: fold. One RunningStats per selected
@@ -311,6 +337,13 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   graph.run_indexed(0, static_cast<std::int64_t>(n_cells) * reps, 1, body,
                     on_done);
 
+  if (cfg.cancel != nullptr && cfg.cancel->load(std::memory_order_relaxed)) {
+    throw CampaignCancelledError(
+        "campaign cancelled (" +
+        std::to_string(cells_done.load(std::memory_order_relaxed)) + " of " +
+        std::to_string(n_cells) + " owned cells folded)");
+  }
+
   out.cells = std::move(cells);
   return out;
 }
@@ -321,12 +354,24 @@ std::size_t campaign_total_cells(const CampaignConfig& cfg) {
 
 bool shard_owns(const ShardSpec& shard, std::size_t flat_index) {
   validate_shard(shard);
+  if (!shard.cells.empty()) {
+    return std::binary_search(shard.cells.begin(), shard.cells.end(),
+                              flat_index);
+  }
   return flat_index % shard.count == shard.index;
 }
 
 std::vector<std::size_t> shard_cell_indices(std::size_t total_cells,
                                             const ShardSpec& shard) {
   validate_shard(shard);
+  if (!shard.cells.empty()) {
+    if (shard.cells.back() >= total_cells) {
+      throw std::invalid_argument(
+          "ShardSpec: explicit cell " + std::to_string(shard.cells.back()) +
+          " out of range (total " + std::to_string(total_cells) + ")");
+    }
+    return shard.cells;
+  }
   std::vector<std::size_t> indices;
   indices.reserve(total_cells / shard.count + 1);
   for (std::size_t flat = shard.index; flat < total_cells;
@@ -421,11 +466,107 @@ std::uint64_t campaign_config_hash(const CampaignConfig& cfg) {
   return h;
 }
 
+namespace {
+
+// Bitwise identity of two Welford accumulator states: doubles compare as
+// raw bit patterns, so even a NaN-for-NaN match counts and a last-ulp
+// difference does not.
+bool states_identical(const RunningStats::State& a,
+                      const RunningStats::State& b) {
+  return a.count == b.count &&
+         std::bit_cast<std::uint64_t>(a.mean) ==
+             std::bit_cast<std::uint64_t>(b.mean) &&
+         std::bit_cast<std::uint64_t>(a.m2) ==
+             std::bit_cast<std::uint64_t>(b.m2) &&
+         std::bit_cast<std::uint64_t>(a.min) ==
+             std::bit_cast<std::uint64_t>(b.min) &&
+         std::bit_cast<std::uint64_t>(a.max) ==
+             std::bit_cast<std::uint64_t>(b.max);
+}
+
+bool cells_identical(const CampaignCell& a, const CampaignCell& b) {
+  if (a.flat_index != b.flat_index || a.scenario != b.scenario ||
+      a.algo != b.algo || a.noise != b.noise || a.engine != b.engine ||
+      a.metric_stats.size() != b.metric_stats.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.metric_stats.size(); ++i) {
+    if (!states_identical(a.metric_stats[i].state(),
+                          b.metric_stats[i].state())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+IncrementalMerger::IncrementalMerger(std::size_t total_cells,
+                                     std::vector<std::string> metrics,
+                                     Duplicates duplicates)
+    : slots_(total_cells),
+      seen_(total_cells, 0),
+      metrics_(std::move(metrics)),
+      n_scalars_(metric_scalar_columns(metrics_).size()),
+      duplicates_(duplicates) {}
+
+bool IncrementalMerger::add(CampaignCell cell) {
+  if (cell.flat_index >= slots_.size()) {
+    throw std::invalid_argument(
+        "IncrementalMerger: cell index " + std::to_string(cell.flat_index) +
+        " out of range (total " + std::to_string(slots_.size()) + ")");
+  }
+  if (cell.metric_stats.size() != n_scalars_) {
+    throw std::invalid_argument(
+        "IncrementalMerger: cell " + std::to_string(cell.flat_index) +
+        " carries " + std::to_string(cell.metric_stats.size()) +
+        " scalars, the metric selection has " + std::to_string(n_scalars_));
+  }
+  if (seen_[cell.flat_index]) {
+    if (duplicates_ == Duplicates::kReject) {
+      throw std::invalid_argument("IncrementalMerger: duplicate cell " +
+                                  std::to_string(cell.flat_index));
+    }
+    // First-completion-wins: the slot already holds the folded cell. The
+    // duplicate must be bit-identical — same labels, same engine, same
+    // Welford state words — or a retry computed a DIFFERENT number for the
+    // same (config_hash, cell) key, which exactly-once folding must refuse
+    // to paper over.
+    if (!cells_identical(slots_[cell.flat_index], cell)) {
+      throw std::invalid_argument(
+          "IncrementalMerger: duplicate completion of cell " +
+          std::to_string(cell.flat_index) +
+          " differs bit-wise from the first — refusing to fold");
+    }
+    return false;
+  }
+  seen_[cell.flat_index] = 1;
+  slots_[cell.flat_index] = std::move(cell);
+  ++filled_;
+  return true;
+}
+
+bool IncrementalMerger::has(std::size_t flat_index) const {
+  return flat_index < seen_.size() && seen_[flat_index] != 0;
+}
+
+CampaignResult IncrementalMerger::take() {
+  if (!complete()) {
+    throw std::invalid_argument("IncrementalMerger: incomplete cell set (" +
+                                std::to_string(filled_) + " of " +
+                                std::to_string(seen_.size()) + " cells)");
+  }
+  CampaignResult out;
+  out.cells = std::move(slots_);
+  out.metrics = std::move(metrics_);
+  slots_ = {};
+  seen_ = {};
+  filled_ = 0;
+  return out;
+}
+
 CampaignResult merge_campaign_shards(std::vector<CampaignResult> shards,
                                      std::size_t total_cells) {
-  std::vector<CampaignCell> slots(total_cells);
-  std::vector<std::uint8_t> seen(total_cells, 0);
-  std::size_t filled = 0;
   std::vector<std::string> metrics;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     if (i == 0) {
@@ -436,33 +577,27 @@ CampaignResult merge_campaign_shards(std::vector<CampaignResult> shards,
           "metric selections");
     }
   }
+  IncrementalMerger merger(total_cells, std::move(metrics),
+                           IncrementalMerger::Duplicates::kReject);
+  // Per-replicate payloads (keep_results) ride through the merger untouched:
+  // add() moves the whole cell, results vector included.
   for (CampaignResult& shard : shards) {
     for (CampaignCell& cell : shard.cells) {
-      if (cell.flat_index >= total_cells) {
-        throw std::invalid_argument(
-            "merge_campaign_shards: cell index " +
-            std::to_string(cell.flat_index) + " out of range (total " +
-            std::to_string(total_cells) + ")");
+      try {
+        merger.add(std::move(cell));
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("merge_campaign_shards: ") +
+                                    e.what());
       }
-      if (seen[cell.flat_index]) {
-        throw std::invalid_argument("merge_campaign_shards: duplicate cell " +
-                                    std::to_string(cell.flat_index));
-      }
-      seen[cell.flat_index] = 1;
-      slots[cell.flat_index] = std::move(cell);
-      ++filled;
     }
   }
-  if (filled != total_cells) {
+  if (!merger.complete()) {
     throw std::invalid_argument(
         "merge_campaign_shards: incomplete shard set (" +
-        std::to_string(filled) + " of " + std::to_string(total_cells) +
-        " cells)");
+        std::to_string(merger.filled()) + " of " +
+        std::to_string(total_cells) + " cells)");
   }
-  CampaignResult out;
-  out.cells = std::move(slots);
-  out.metrics = std::move(metrics);
-  return out;
+  return merger.take();
 }
 
 }  // namespace antalloc

@@ -32,6 +32,7 @@
 // docs/CAMPAIGNS.md is the user guide for the whole workflow.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -57,9 +58,18 @@ struct NoiseSpec {
 // Round-robin by coordinate, so ragged matrices (cells % count != 0) spread
 // evenly and ownership never depends on which other shards exist or run.
 // The default {0, 1} is the whole matrix.
+//
+// Alternatively, `cells` non-empty switches to EXPLICIT ownership: the shard
+// owns exactly those flat indices (strictly ascending) and index/count are
+// ignored. This is the lease-driven path (src/orch/): a coordinator hands a
+// worker an arbitrary contiguous range — or any set — of cells, which no
+// (index mod count) pattern can express. Like index/count, the explicit list
+// stays OUT of campaign_config_hash: how the matrix is cut must never change
+// a number.
 struct ShardSpec {
   std::size_t index = 0;
   std::size_t count = 1;
+  std::vector<std::size_t> cells;
 };
 
 struct CampaignCell;
@@ -151,6 +161,15 @@ struct CampaignConfig {
   // Optional progress observer (see CampaignProgress above). Not owned;
   // must outlive run_campaign. Excluded from campaign_config_hash.
   CampaignProgress* progress = nullptr;
+  // Optional cooperative cancellation flag. Not owned; must outlive
+  // run_campaign. When it reads true, the campaign stops starting new
+  // replicate bodies (pending tasks drain as no-ops), suppresses further
+  // cell folds, and run_campaign throws CampaignCancelledError once the
+  // executor drains. Cells folded BEFORE the flag was observed are exact —
+  // the daemon's CancelJob and the fleet worker's LeaseRevoked both use
+  // this, and a revoked worker's already-shipped cells stay valid. Excluded
+  // from campaign_config_hash, like every other scheduling knob.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // One (scenario, algo, noise) entry of the matrix.
@@ -204,11 +223,22 @@ struct CampaignResult {
                            const std::string& noise = "") const;
 };
 
+// Thrown by run_campaign when cfg.cancel was observed true: the campaign
+// drained without computing every owned cell, so there is no result to
+// return. Distinct from std::invalid_argument (a bad config) — callers that
+// requested the cancellation catch this and treat it as clean shutdown.
+class CampaignCancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 // Runs the matrix — the whole thing with the default ShardSpec, or just the
 // cells cfg.shard owns. Throws std::invalid_argument on an empty axis, an
-// invalid shard (index >= count or count == 0), or a cell that cannot run
-// (e.g. Engine::kAggregate forced for an agent-only algorithm). A shard
-// that owns zero cells (count > total cells) returns an empty result.
+// invalid shard (index >= count or count == 0, or a non-ascending explicit
+// cell list), or a cell that cannot run (e.g. Engine::kAggregate forced for
+// an agent-only algorithm), and CampaignCancelledError when cfg.cancel
+// fired. A shard that owns zero cells (count > total cells) returns an
+// empty result.
 CampaignResult run_campaign(const CampaignConfig& cfg);
 
 // Sharding helpers. ---------------------------------------------------------
@@ -248,12 +278,62 @@ std::vector<SimResult> replay_cell_results(
     const std::string& trace_dir, std::size_t flat_index,
     std::int64_t replicates, const std::vector<std::string>& metrics = {});
 
+// Incremental per-cell merge: the accumulator-reassembly half of
+// merge_campaign_shards exposed one cell at a time, so a consumer (the
+// fleet coordinator, src/orch/coordinator.h) can fold cells the moment they
+// land instead of waiting for whole shard directories. Slot-based like the
+// batch merge: each cell drops into slots_[flat_index], and take() hands
+// back the full matrix in flat order — bit-identical to the unsharded run.
+//
+// Duplicate policy is explicit because retry makes duplicates NORMAL in a
+// fleet (a straggler finishing after its lease was reissued) but a BUG in a
+// directory merge (two shard files claiming the same index):
+//   kReject       — any duplicate throws std::invalid_argument.
+//   kVerifyEqual  — a duplicate is compared bit-for-bit (labels, engine,
+//                   every RunningStats::State word of every scalar) against
+//                   the first completion and dropped when identical; a
+//                   MISMATCHED duplicate throws std::invalid_argument. This
+//                   is the exactly-once argument: first-completion-wins,
+//                   and a retry can confirm a number but never change one.
+class IncrementalMerger {
+ public:
+  enum class Duplicates { kReject, kVerifyEqual };
+
+  IncrementalMerger(std::size_t total_cells, std::vector<std::string> metrics,
+                    Duplicates duplicates = Duplicates::kReject);
+
+  // Folds one cell. Returns true when the cell filled a new slot, false
+  // when it was a verified byte-equal duplicate (kVerifyEqual only).
+  // Throws std::invalid_argument on an out-of-range index, a scalar count
+  // that contradicts the metric selection, a rejected duplicate, or a
+  // duplicate whose bits differ from the first completion.
+  bool add(CampaignCell cell);
+
+  bool has(std::size_t flat_index) const;
+  std::size_t filled() const { return filled_; }
+  std::size_t total_cells() const { return seen_.size(); }
+  bool complete() const { return filled_ == seen_.size(); }
+  const std::vector<std::string>& metrics() const { return metrics_; }
+
+  // The reassembled result; throws std::invalid_argument while incomplete.
+  // The merger is empty afterwards.
+  CampaignResult take();
+
+ private:
+  std::vector<CampaignCell> slots_;
+  std::vector<std::uint8_t> seen_;
+  std::size_t filled_ = 0;
+  std::vector<std::string> metrics_;
+  std::size_t n_scalars_ = 0;
+  Duplicates duplicates_ = Duplicates::kReject;
+};
+
 // Reassembles the full matrix from per-shard results (cells carry their
 // flat_index). Requires the union of cell indices to be exactly
 // {0, …, total_cells-1} with no duplicates; throws std::invalid_argument
 // otherwise. The output is bit-identical to what the unsharded run_campaign
 // would have produced, including per-replicate results when keep_results
-// was on.
+// was on. (Implemented on IncrementalMerger with Duplicates::kReject.)
 CampaignResult merge_campaign_shards(std::vector<CampaignResult> shards,
                                      std::size_t total_cells);
 

@@ -1,0 +1,108 @@
+// CancelJob over the daemon loopback: cooperative cancellation reaches a
+// running campaign through the job's cancel flag, the run stops draining
+// at cell/replicate boundaries, and the job finishes as a FAILURE through
+// the ordinary feed path — JobDone ok=0 naming the cancellation. Also pins
+// the 404 on unknown ids and that cancelling a finished job is a no-op.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+namespace antalloc {
+namespace {
+
+// Big enough that cancellation always lands mid-run: 4 cells x 8 replicates
+// of 20k rounds is seconds of compute, while the cancel frame arrives in
+// microseconds.
+JobSpec long_job() {
+  JobSpec job;
+  job.scenarios = {"task-churn", "constant"};
+  job.algos = {JobAlgo{.name = "ant", .gamma = 0.05},
+               JobAlgo{.name = "trivial", .gamma = 0.05}};
+  job.noise = JobNoise{.kind = NoiseKind::kSigmoid, .lambda = 1.0};
+  job.demands = {Count{200}, Count{120}, Count{80}};
+  job.n_ants = 2000;
+  job.rounds = 20'000;
+  job.seed = 7;
+  job.replicates = 8;
+  job.initial = InitialKind::kUniform;
+  return job;
+}
+
+TEST(DaemonCancel, CancelledJobFinishesAsFailureThroughTheFeed) {
+  DaemonServer server;
+  server.start();
+  DaemonClient client("127.0.0.1", server.port());
+
+  client.send(Message{SubmitJob{.job = long_job()}});
+  const Message reply = client.recv();
+  const auto* accepted = std::get_if<JobAccepted>(&reply);
+  ASSERT_NE(accepted, nullptr);
+
+  client.send(Message{CancelJob{.job_id = accepted->job_id}});
+  client.send(Message{Subscribe{.job_id = accepted->job_id}});
+
+  // The feed drains normally and terminates in a JobDone that names the
+  // cancellation — no special cancelled-state message type.
+  FeedAssembler assembler;
+  while (!assembler.fold(client.recv())) {
+  }
+  const JobDone& done = *assembler.job_done();
+  EXPECT_EQ(done.ok, 0);
+  EXPECT_NE(done.error.find("cancel"), std::string::npos) << done.error;
+  EXPECT_EQ(done.result_checksum, 0u);
+  server.stop();
+}
+
+TEST(DaemonCancel, UnknownJobIdGets404) {
+  DaemonServer server;
+  server.start();
+  DaemonClient client("127.0.0.1", server.port());
+  client.send(Message{CancelJob{.job_id = 31337}});
+  const Message reply = client.recv();
+  const auto* err = std::get_if<ErrorMsg>(&reply);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, 404u);
+  EXPECT_NE(err->message.find("31337"), std::string::npos);
+  server.stop();
+}
+
+TEST(DaemonCancel, CancellingAFinishedJobIsANoOp) {
+  DaemonServer server;
+  server.start();
+  DaemonClient client("127.0.0.1", server.port());
+
+  JobSpec quick = long_job();
+  quick.rounds = 200;
+  quick.n_ants = 400;
+  quick.replicates = 1;
+  client.send(Message{SubmitJob{.job = quick}});
+  const Message reply = client.recv();
+  const auto* accepted = std::get_if<JobAccepted>(&reply);
+  ASSERT_NE(accepted, nullptr);
+
+  client.send(Message{Subscribe{.job_id = accepted->job_id}});
+  FeedAssembler live;
+  while (!live.fold(client.recv())) {
+  }
+  EXPECT_EQ(live.job_done()->ok, 1);
+
+  // Cancel after the fact: no error, no state change — a late subscriber
+  // still sees the job done and ok.
+  client.send(Message{CancelJob{.job_id = accepted->job_id}});
+  client.send(Message{Subscribe{.job_id = accepted->job_id}});
+  FeedAssembler replay;
+  while (!replay.fold(client.recv())) {
+  }
+  EXPECT_EQ(replay.job_done()->ok, 1);
+  EXPECT_TRUE(replay.verify());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace antalloc

@@ -1,0 +1,295 @@
+// Transport-fault injection for the fleet (satellite of src/orch/): a
+// FaultyTransport proxy sits between a worker and the coordinator and
+// drops, duplicates, or corrupts individual FRAMES. The contract under
+// test: every transport failure mode ends in either a clean retry (the
+// coordinator releases the dead worker's leases and a rescuer recomputes
+// them) or a named ProtocolError — and the merged CSV stays byte-identical
+// to the unsharded run. Damage can cost time, never correctness.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/server.h"
+#include "orch/coordinator.h"
+#include "orch/worker.h"
+#include "sim/campaign.h"
+
+namespace antalloc {
+namespace {
+
+JobSpec fault_job() {
+  JobSpec job;
+  job.scenarios = {"task-churn", "constant", "single-shock"};
+  job.algos = {JobAlgo{.name = "ant", .gamma = 0.05},
+               JobAlgo{.name = "trivial", .gamma = 0.05}};
+  job.noise = JobNoise{.kind = NoiseKind::kSigmoid, .lambda = 1.0};
+  job.demands = {Count{120}, Count{80}, Count{60}};
+  job.n_ants = 600;
+  job.rounds = 300;
+  job.seed = 42;
+  job.replicates = 2;
+  job.initial = InitialKind::kUniform;
+  return job;
+}
+
+void send_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; the pump's next recv sees it too
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+// A frame-granular loopback proxy: relays the hello verbatim, then parses
+// each direction into whole frames and lets a policy decide the fate of
+// every frame. Both directions count their own frames from 0.
+class FaultyTransport {
+ public:
+  enum class Action { kForward, kDrop, kDuplicate, kCorrupt };
+  // (to_coordinator, frame index in that direction) -> fate.
+  using Policy = std::function<Action(bool, std::size_t)>;
+
+  FaultyTransport(std::uint16_t upstream_port, Policy policy)
+      : upstream_port_(upstream_port), policy_(std::move(policy)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_OK(listen_fd_ >= 0);
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_OK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0);
+    ASSERT_OK(::listen(listen_fd_, 4) == 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_OK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len) == 0);
+    port_ = ntohs(addr.sin_port);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~FaultyTransport() {
+    running_.store(false);
+    accept_thread_.join();
+    ::close(listen_fd_);
+    std::lock_guard<std::mutex> lock(pumps_mutex_);
+    for (std::thread& t : pumps_) t.join();
+  }
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  static void ASSERT_OK(bool ok) {
+    if (!ok) GTEST_FAIL() << "proxy setup: " << std::strerror(errno);
+  }
+
+  void accept_loop() {
+    while (running_.load()) {
+      pollfd p{listen_fd_, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) continue;
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client < 0) continue;
+      const int upstream = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(upstream_port_);
+      if (::connect(upstream, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        ::close(upstream);
+        ::close(client);
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(pumps_mutex_);
+      pumps_.emplace_back([this, client, upstream] {
+        std::thread back([this, client, upstream] {
+          pump(upstream, client, /*to_coordinator=*/false);
+        });
+        pump(client, upstream, /*to_coordinator=*/true);
+        back.join();
+        ::close(client);
+        ::close(upstream);
+      });
+    }
+  }
+
+  // One direction: hello verbatim, then frame-at-a-time with the policy.
+  void pump(int src, int dst, bool to_coordinator) {
+    std::vector<std::uint8_t> buf;
+    std::size_t head = 0;
+    std::size_t hello_sent = 0;
+    std::size_t frame_index = 0;
+    std::uint8_t chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(src, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buf.insert(buf.end(), chunk, chunk + n);
+      if (hello_sent < kHelloBytes) {
+        const std::size_t take =
+            std::min(kHelloBytes - hello_sent, buf.size() - head);
+        send_all(dst, std::span(buf).subspan(head, take));
+        hello_sent += take;
+        head += take;
+      }
+      while (hello_sent == kHelloBytes) {
+        std::size_t consumed = 0;
+        std::optional<Frame> frame;
+        try {
+          frame = try_decode_frame(std::span(buf).subspan(head), &consumed);
+        } catch (const ProtocolError&) {
+          break;  // both real peers emit clean frames; damage is ours alone
+        }
+        if (!frame.has_value()) break;
+        std::vector<std::uint8_t> bytes(buf.begin() + head,
+                                        buf.begin() + head + consumed);
+        head += consumed;
+        switch (policy_(to_coordinator, frame_index++)) {
+          case Action::kForward:
+            send_all(dst, bytes);
+            break;
+          case Action::kDrop:
+            break;
+          case Action::kDuplicate:
+            send_all(dst, bytes);
+            send_all(dst, bytes);
+            break;
+          case Action::kCorrupt:
+            bytes[bytes.size() - 1] ^= 0x01;  // break the trailing checksum
+            send_all(dst, bytes);
+            break;
+        }
+      }
+      if (head > 0) {
+        buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+    }
+    ::shutdown(dst, SHUT_WR);
+    ::shutdown(src, SHUT_RD);
+  }
+
+  std::uint16_t upstream_port_;
+  Policy policy_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{true};
+  std::thread accept_thread_;
+  std::mutex pumps_mutex_;
+  std::vector<std::thread> pumps_;
+};
+
+// Runs one worker through a faulty proxy (expecting it to fail with a
+// ProtocolError), then a clean rescuer straight at the coordinator, and
+// requires the merged CSV byte-identical to the unsharded run.
+void expect_fault_is_survivable(FaultyTransport::Policy policy,
+                                bool faulted_worker_must_throw = true) {
+  const JobSpec job = fault_job();
+  const CampaignResult offline = run_campaign(campaign_from_job(job));
+
+  CoordinatorOptions opts;
+  opts.port = 0;
+  opts.job = job;
+  opts.lease.cells_per_lease = 2;
+  CoordinatorServer server(opts);
+  server.start();
+  FaultyTransport proxy(server.port(), std::move(policy));
+
+  std::string faulted_error;
+  std::optional<WorkerReport> faulted_report;
+  std::thread faulted([&] {
+    try {
+      faulted_report =
+          run_worker("127.0.0.1", proxy.port(), WorkerOptions{.name = "faulted"});
+    } catch (const ProtocolError& e) {
+      faulted_error = e.what();
+    }
+  });
+  faulted.join();
+  if (faulted_worker_must_throw) {
+    EXPECT_NE(faulted_error, "")
+        << "the faulted worker was expected to fail with a ProtocolError";
+  }
+
+  std::string rescuer_error;
+  std::thread rescuer([&] {
+    try {
+      run_worker("127.0.0.1", server.port(), WorkerOptions{.name = "rescuer"});
+    } catch (const ProtocolError& e) {
+      rescuer_error = e.what();
+    }
+  });
+  ASSERT_TRUE(server.wait_done()) << server.error();
+  rescuer.join();
+  EXPECT_EQ(rescuer_error, "");
+
+  // The one invariant damage can never touch: the merged bytes.
+  EXPECT_EQ(server.result().to_csv(), offline.to_csv());
+  server.stop();
+}
+
+TEST(OrchFault, CorruptedResultFrameFailsCleanAndRetries) {
+  // Frame 1 to the coordinator is the worker's first CellResult; corrupting
+  // its checksum must be detected (never folded), the connection closed,
+  // and the cells recomputed by the rescuer.
+  expect_fault_is_survivable([](bool to_coordinator, std::size_t index) {
+    return to_coordinator && index == 1 ? FaultyTransport::Action::kCorrupt
+                                        : FaultyTransport::Action::kForward;
+  });
+}
+
+TEST(OrchFault, DroppedResultFrameIsASequenceGap) {
+  // Dropping a frame leaves a hole in the inbound sequence; the coordinator
+  // must refuse the remainder of the stream rather than fold around it.
+  expect_fault_is_survivable([](bool to_coordinator, std::size_t index) {
+    return to_coordinator && index == 1 ? FaultyTransport::Action::kDrop
+                                        : FaultyTransport::Action::kForward;
+  });
+}
+
+TEST(OrchFault, DuplicatedResultFrameIsASequenceGap) {
+  // A transport-level replay: the second copy arrives with a stale seq.
+  // The coordinator folds the first copy, then drops the connection — the
+  // replay can never double-count a cell.
+  expect_fault_is_survivable([](bool to_coordinator, std::size_t index) {
+    return to_coordinator && index == 1 ? FaultyTransport::Action::kDuplicate
+                                        : FaultyTransport::Action::kForward;
+  });
+}
+
+TEST(OrchFault, CorruptedGrantFrameFailsTheWorkerByName) {
+  // Damage on the coordinator->worker leg: the worker's reader names the
+  // damage class and the worker exits instead of computing garbage.
+  expect_fault_is_survivable([](bool to_coordinator, std::size_t index) {
+    return !to_coordinator && index == 0 ? FaultyTransport::Action::kCorrupt
+                                         : FaultyTransport::Action::kForward;
+  });
+}
+
+TEST(OrchFault, CleanProxyChangesNothing) {
+  // Control: the proxy itself is transparent — a worker through a
+  // fault-free FaultyTransport completes the campaign normally.
+  expect_fault_is_survivable(
+      [](bool, std::size_t) { return FaultyTransport::Action::kForward; },
+      /*faulted_worker_must_throw=*/false);
+}
+
+}  // namespace
+}  // namespace antalloc

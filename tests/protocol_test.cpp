@@ -218,6 +218,77 @@ TEST(ProtocolRoundTrip, ErrorMsg) {
   EXPECT_EQ(d.message, m.message);
 }
 
+// Fleet messages (orch/): the lease lifecycle on the wire. ------------------
+
+TEST(ProtocolRoundTrip, LeaseRequest) {
+  const LeaseRequest m{.worker = "worker-7"};
+  EXPECT_EQ(round_trip(m).worker, m.worker);
+  EXPECT_EQ(round_trip(LeaseRequest{}).worker, "");
+}
+
+TEST(ProtocolRoundTrip, LeaseGrant) {
+  LeaseGrant m;
+  m.lease_id = 17;
+  m.config_hash = 0x0fedcba987654321ULL;
+  m.first_cell = 12;
+  m.cell_count = 4;
+  m.deadline_ms = 30'000;
+  m.done = 0;
+  m.job.scenarios = {"task-churn"};
+  m.job.algos = {JobAlgo{.name = "ant", .gamma = 0.034}};
+  m.job.demands = {Count{120}, Count{80}};
+  m.job.n_ants = 600;
+  m.job.rounds = 300;
+  m.job.seed = 42;
+  m.job.replicates = 4;
+  m.job.metrics = {"regret", "oscillation-per-task@2"};
+
+  const LeaseGrant d = round_trip(m);
+  EXPECT_EQ(d.lease_id, m.lease_id);
+  EXPECT_EQ(d.config_hash, m.config_hash);
+  EXPECT_EQ(d.first_cell, m.first_cell);
+  EXPECT_EQ(d.cell_count, m.cell_count);
+  EXPECT_EQ(d.deadline_ms, m.deadline_ms);
+  EXPECT_EQ(d.done, m.done);
+  EXPECT_EQ(d.job.scenarios, m.job.scenarios);
+  ASSERT_EQ(d.job.algos.size(), 1u);
+  EXPECT_EQ(d.job.algos[0].name, "ant");
+  EXPECT_EQ(d.job.algos[0].gamma, 0.034);
+  EXPECT_EQ(d.job.demands, m.job.demands);
+  EXPECT_EQ(d.job.seed, m.job.seed);
+  EXPECT_EQ(d.job.metrics, m.job.metrics);
+
+  // The done-grant: the "go home" shape every worker exit path relies on.
+  LeaseGrant done;
+  done.done = 1;
+  EXPECT_EQ(round_trip(done).done, 1);
+  EXPECT_EQ(round_trip(done).lease_id, 0u);
+}
+
+TEST(ProtocolRoundTrip, CellResult) {
+  CellResult m;
+  m.lease_id = 9;
+  m.config_hash = 0xfeedface12345678ULL;
+  m.cell = sample_cell(21);
+  const CellResult d = round_trip(m);
+  EXPECT_EQ(d.lease_id, m.lease_id);
+  EXPECT_EQ(d.config_hash, m.config_hash);
+  expect_cell_eq(d.cell, m.cell);
+}
+
+TEST(ProtocolRoundTrip, LeaseRevoked) {
+  const LeaseRevoked m{.lease_id = 5,
+                       .reason = "lease deadline passed; cells reissued"};
+  const LeaseRevoked d = round_trip(m);
+  EXPECT_EQ(d.lease_id, m.lease_id);
+  EXPECT_EQ(d.reason, m.reason);
+}
+
+TEST(ProtocolRoundTrip, CancelJob) {
+  const CancelJob m{.job_id = 0x8000000000000001ULL};
+  EXPECT_EQ(round_trip(m).job_id, m.job_id);
+}
+
 // Hello handshake damage. ----------------------------------------------------
 
 TEST(ProtocolCorruption, HelloRoundTripsClean) {
@@ -368,6 +439,61 @@ TEST(ProtocolCorruption, TornPayloadUnregisteredEnum) {
   const auto bytes = wrap_frame(MsgType::kMetricDelta, 0, w.bytes());
   EXPECT_THROW(decode_message(decode_frame(bytes)),
                ProtocolTornPayloadError);
+}
+
+TEST(ProtocolCorruption, TornPayloadLeaseGrantCutBeforeJob) {
+  // A LeaseGrant whose payload ends after the fixed fields — the embedded
+  // JobSpec is missing entirely. Clean checksum, torn body.
+  ByteWriter w;
+  w.u64(1);   // lease_id
+  w.u64(2);   // config_hash
+  w.u64(0);   // first_cell
+  w.u64(4);   // cell_count
+  w.u64(30);  // deadline_ms
+  w.u8(0);    // done
+  const auto bytes = wrap_frame(MsgType::kLeaseGrant, 0, w.bytes());
+  EXPECT_THROW(decode_message(decode_frame(bytes)), ProtocolTornPayloadError);
+}
+
+TEST(ProtocolCorruption, TornPayloadCellResultShortStats) {
+  // A CellResult whose cell promises 2 Welford states but carries bytes for
+  // none — the inner count overruns the declared payload.
+  ByteWriter w;
+  w.u64(3);           // lease_id
+  w.u64(4);           // config_hash
+  w.u64(7);           // cell.flat_index
+  w.str("constant");  // scenario
+  w.str("ant");       // algo
+  w.str("exact");     // noise
+  w.u8(0);            // engine
+  w.u32(2);           // "2 stats follow" — they do not
+  const auto bytes = wrap_frame(MsgType::kCellResult, 0, w.bytes());
+  EXPECT_THROW(decode_message(decode_frame(bytes)), ProtocolTornPayloadError);
+}
+
+TEST(ProtocolCorruption, TornPayloadLeaseRevokedTrailingBytes) {
+  ByteWriter w;
+  w.u64(5);
+  w.str("deadline");
+  w.u32(0xdead);  // undeclared trailing bytes
+  const auto bytes = wrap_frame(MsgType::kLeaseRevoked, 0, w.bytes());
+  EXPECT_THROW(decode_message(decode_frame(bytes)), ProtocolTornPayloadError);
+}
+
+TEST(ProtocolCorruption, TornPayloadCancelJobShortBody) {
+  ByteWriter w;
+  w.u32(9);  // CancelJob needs a u64; only 4 bytes arrive
+  const auto bytes = wrap_frame(MsgType::kCancelJob, 0, w.bytes());
+  EXPECT_THROW(decode_message(decode_frame(bytes)), ProtocolTornPayloadError);
+}
+
+TEST(ProtocolCorruption, TypeJustPastCancelJobIsUnknown) {
+  // kCancelJob is the registry's last type: the very next value is rejected
+  // by the range gate, so extending the variant forces this test to move.
+  const auto bytes = wrap_frame(
+      static_cast<MsgType>(static_cast<std::uint32_t>(MsgType::kCancelJob) + 1),
+      0, std::vector<std::uint8_t>{});
+  EXPECT_THROW(decode_message(decode_frame(bytes)), ProtocolUnknownTypeError);
 }
 
 TEST(ProtocolCorruption, DamageClassesAreDistinct) {
